@@ -1,0 +1,41 @@
+"""Ablation: the §4.8 price of strict isolation (underutilization).
+
+Replays a fleet of function launches under S-NIC's allocation model
+(whole cores, preallocated peak memory, nothing returned mid-lifetime)
+and under a hypothetical elastic allocator, quantifying the utilization
+gap the paper calls "fundamental, given the lack of trust between the
+different code on the NIC".
+"""
+
+from _common import print_table
+
+from repro.cost.utilization import generate_workload, isolation_price
+
+
+def compute_ablation():
+    workload = generate_workload(n_requests=300, seed=11)
+    return isolation_price(workload)
+
+
+def test_ablation_utilization(benchmark):
+    results = benchmark.pedantic(compute_ablation, rounds=1, iterations=1)
+    rows = [
+        (
+            result.policy,
+            f"{100 * result.core_utilization:.1f}%",
+            f"{100 * result.memory_utilization:.1f}%",
+            f"{100 * result.admission_rate:.1f}%",
+            result.rejected,
+        )
+        for result in results.values()
+    ]
+    print_table(
+        "Ablation — §4.8 underutilization (time-averaged)",
+        ["policy", "core util", "memory util", "admission", "rejected"],
+        rows,
+    )
+    snic, ideal = results["snic"], results["ideal"]
+    # The price of isolation is real but bounded.
+    assert ideal.core_utilization >= snic.core_utilization
+    assert snic.memory_utilization > 0.5  # Table 8 MURs keep it sane
+    assert snic.admission_rate > 0.5

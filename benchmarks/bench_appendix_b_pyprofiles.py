@@ -1,0 +1,46 @@
+"""Supplementary Appendix-B analogue: profiling this repo's own NFs.
+
+Applies the Table 6 methodology (drive with a trace, measure state,
+size the locked TLB budget) to the Python NF implementations.  Absolute
+sizes differ from the Rust binaries; the structural findings must hold:
+Monitor grows with distinct flows, NAT saturates at its port pool, and
+the TLB budgets stay tiny next to a 512-entry core TLB.
+"""
+
+from _common import print_table
+
+from repro.cost.pyprofile import profile_all
+
+KB = 1024
+
+
+def compute_profiles():
+    return profile_all(n_packets=2_500)
+
+
+def test_pyprofiles(benchmark):
+    profiles = benchmark.pedantic(compute_profiles, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            profile.packets,
+            f"{profile.peak_state_bytes / KB:.1f}",
+            f"{profile.final_state_bytes / KB:.1f}",
+            f"{profile.growth_ratio:.2f}x",
+            profile.tlb_entries(),
+        )
+        for name, profile in profiles.items()
+    ]
+    print_table(
+        "Appendix-B analogue — this repo's NFs (state KB, TLB entries)",
+        ["NF", "packets", "peak state", "final state", "growth", "TLB entries"],
+        rows,
+    )
+    # Structural findings mirroring the paper: Monitor's state grows
+    # with distinct flows (Table 6's only unbounded NF), while LB and
+    # LPM are dominated by static tables that do not grow.
+    assert profiles["Mon"].growth_ratio > 10
+    assert profiles["Mon"].growth_ratio > profiles["LB"].growth_ratio
+    assert profiles["LPM"].growth_ratio == 1.0
+    for profile in profiles.values():
+        assert profile.tlb_entries() <= 512            # fits a core TLB

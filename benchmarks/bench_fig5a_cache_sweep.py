@@ -1,0 +1,44 @@
+"""Figure 5a: IPC degradation vs L2 cache size (2 colocated NFs).
+
+For every focal NF and every L2 size from 8 KB to 16 MB, run all six
+colocations and report the median (with p1/p99).  Paper shape: small
+degradation (fractions of a percent) at large caches, rising toward a
+few percent at small caches, FW/DPI/NAT worst.
+"""
+
+from _common import print_table
+
+from repro.perf.colocation import cache_size_sweep
+
+KB = 1024
+MB = 1024 * KB
+L2_SIZES = [8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB,
+            512 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB]
+
+
+def compute_fig5a():
+    return cache_size_sweep(L2_SIZES, cotenancy=2)
+
+
+def test_fig5a(benchmark):
+    results = benchmark.pedantic(compute_fig5a, rounds=1, iterations=1)
+    headers = ["NF"] + [
+        f"{s // KB}K" if s < MB else f"{s // MB}M" for s in L2_SIZES
+    ]
+    rows = [
+        [nf] + [f"{r.median:.2f}" for r in series]
+        for nf, series in results.items()
+    ]
+    print_table("Figure 5a — median IPC degradation % vs L2 size (2 NFs)",
+                headers, rows)
+
+    # Shape assertions.
+    for nf, series in results.items():
+        medians = [r.median for r in series]
+        assert all(m >= 0.0 for m in medians)
+        # Large caches are near-free: at 16 MB degradation < 1%.
+        assert medians[-1] < 1.0
+    # FW/DPI/NAT dominate the small-cache regime (the paper's worst trio).
+    small_heavy = max(results[n][3].median for n in ("FW", "DPI", "NAT"))
+    small_light = results["LB"][3].median
+    assert small_heavy > small_light

@@ -1,0 +1,33 @@
+"""Figure 7: Monitor's memory usage over a five-minute trace window.
+
+Paper: preallocation must cover the 360.54 MB peak (hugepage-init and
+HashMap-resize spikes) while steady-state use is 246.31 MB.
+"""
+
+from _common import print_table
+
+from repro.cost.profiles import MonitorMemoryModel
+
+
+def compute_fig7():
+    model = MonitorMemoryModel()
+    return model.series(step_s=0.5), model.summary()
+
+
+def test_fig7(benchmark):
+    series, summary = benchmark(compute_fig7)
+    # Render a coarse sparkline-style table (every 10 s).
+    rows = [
+        (f"{t:.0f}s", f"{m:.1f}")
+        for t, m in series
+        if abs(t - round(t / 10) * 10) < 0.25
+    ]
+    print_table("Figure 7 — Monitor memory usage (MB)", ["time", "MB"], rows)
+    print(
+        f"min prealloc: {summary['prealloc_min_mb']:.2f} MB (paper 360.54)  "
+        f"steady: {summary['steady_mb']:.2f} MB (paper 246.31)  "
+        f"resizes: {summary['n_resizes']}"
+    )
+    assert abs(summary["prealloc_min_mb"] - 360.54) < 1.0
+    assert abs(summary["steady_mb"] - 246.31) < 1.0
+    assert summary["n_resizes"] >= 3

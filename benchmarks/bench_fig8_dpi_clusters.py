@@ -1,0 +1,60 @@
+"""Figure 8: DPI accelerator throughput vs cluster size and frame size.
+
+Paper setup: 16/32/48 hardware threads; 64 B / 512 B / 1.5 KB / 9 KB
+frames; random payloads from 16 programmable cores.  Takeaway: "as
+packet sizes grow, per-packet processing costs increase and a function
+benefits from access to more hardware threads" — small frames saturate
+the frontend scheduler (flat), jumbo frames scale with threads.
+"""
+
+import pytest
+from _common import print_table
+
+from repro.hw.accelerator import AcceleratorCluster, AcceleratorKind
+
+THREAD_COUNTS = (16, 32, 48)
+FRAME_SIZES = (64, 512, 1536, 9000)
+
+
+def compute_fig8():
+    analytic = {}
+    measured = {}
+    for threads in THREAD_COUNTS:
+        cluster = AcceleratorCluster(AcceleratorKind.DPI, 0, n_threads=threads)
+        analytic[threads] = {
+            size: cluster.throughput_mpps(size) for size in FRAME_SIZES
+        }
+        measured[threads] = {
+            size: cluster.measure_throughput_mpps(size, n_requests=1500)
+            for size in FRAME_SIZES
+        }
+    return analytic, measured
+
+
+def test_fig8(benchmark):
+    table, measured = benchmark(compute_fig8)
+    rows = [
+        [f"{size}B"]
+        + [f"{table[t][size]:.3f}/{measured[t][size]:.3f}" for t in THREAD_COUNTS]
+        for size in FRAME_SIZES
+    ]
+    print_table(
+        "Figure 8 — DPI throughput (Mpps, analytic/event-driven)",
+        ["frame"] + [f"{t} threads" for t in THREAD_COUNTS],
+        rows,
+    )
+    # The two evaluation paths agree within 5% (finite-run edge effects).
+    for t in THREAD_COUNTS:
+        for size in FRAME_SIZES:
+            assert measured[t][size] == pytest.approx(table[t][size], rel=0.05)
+    # 64 B frames: frontend-bound, flat across thread counts.
+    small = [table[t][64] for t in THREAD_COUNTS]
+    assert max(small) - min(small) < 1e-9
+    # 9 KB frames: thread-bound, scaling linearly with cluster size.
+    jumbo = [table[t][9000] for t in THREAD_COUNTS]
+    assert jumbo[1] / jumbo[0] == pytest.approx(2.0, rel=0.01)
+    assert jumbo[2] / jumbo[0] == pytest.approx(3.0, rel=0.01)
+    # Throughput falls with frame size at fixed threads.
+    for t in THREAD_COUNTS:
+        series = [table[t][s] for s in FRAME_SIZES]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,33 @@
+"""§5.2 headline: aggregate S-NIC silicon overheads.
+
+Paper: "S-NIC's additional TLB entries add 8.89% more chip area and
+11.45% more power consumption compared to a baseline 4-core A9."
+"""
+
+from _common import print_table
+
+from repro.cost.mcpat import snic_headline_overheads
+
+
+def test_headline(benchmark):
+    results = benchmark(snic_headline_overheads)
+    print_table(
+        "§5.2 — headline silicon overheads",
+        ["component", "area mm²", "power W"],
+        [
+            ("core TLBs (4×512e)", results["core_tlb_area_mm2"],
+             results["core_tlb_power_w"]),
+            ("accelerator TLB banks", results["accel_tlb_area_mm2"],
+             results["accel_tlb_power_w"]),
+            ("VPP + DMA banks", results["vpp_dma_area_mm2"],
+             results["vpp_dma_power_w"]),
+            ("total added", results["total_added_area_mm2"],
+             results["total_added_power_w"]),
+        ],
+    )
+    print(
+        f"area overhead: {results['area_overhead_pct']:.2f}% (paper 8.89%)   "
+        f"power overhead: {results['power_overhead_pct']:.2f}% (paper 11.45%)"
+    )
+    assert abs(results["area_overhead_pct"] - 8.89) < 0.15
+    assert abs(results["power_overhead_pct"] - 11.45) < 0.15

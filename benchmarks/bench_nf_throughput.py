@@ -1,0 +1,73 @@
+"""Supplementary: behavioral packet-processing throughput of the six NFs.
+
+Not a paper table — a regression benchmark over the real NF
+implementations processing the ICTF-like Zipf(1.1) stream, so changes to
+the data structures (flow caches, Aho–Corasick, DIR-24-8, Maglev) show
+up as throughput deltas.
+"""
+
+import pytest
+
+from repro.net.rules import Prefix
+from repro.net.traces import make_ictf_like_trace
+from repro.nf import (
+    Backend,
+    DIR24_8,
+    DPIEngine,
+    Firewall,
+    MaglevLoadBalancer,
+    Monitor,
+    NAT,
+    make_emerging_threats_rules,
+    make_random_routes,
+    make_snort_like_patterns,
+)
+
+N_PACKETS = 2_000
+
+
+@pytest.fixture(scope="module")
+def packets():
+    trace = make_ictf_like_trace(scale=0.01)
+    return list(trace.packets(N_PACKETS, payload_size=64))
+
+
+def _drain(nf, packets):
+    for packet in packets:
+        nf.process(packet)
+    return nf.stats.received
+
+
+def test_firewall_throughput(benchmark, packets):
+    fw = Firewall(make_emerging_threats_rules(643))
+    assert benchmark(_drain, fw, packets) >= N_PACKETS
+
+
+def test_dpi_throughput(benchmark, packets):
+    dpi = DPIEngine(make_snort_like_patterns(500))
+    assert benchmark(_drain, dpi, packets) >= N_PACKETS
+
+
+def test_nat_throughput(benchmark, packets):
+    nat = NAT("100.0.0.1")
+    assert benchmark(_drain, nat, packets) >= N_PACKETS
+
+
+def test_lb_throughput(benchmark, packets):
+    lb = MaglevLoadBalancer(
+        [Backend(f"b{i}", f"1.0.0.{i + 1}") for i in range(8)], table_size=65537
+    )
+    assert benchmark(_drain, lb, packets) >= N_PACKETS
+
+
+def test_lpm_throughput(benchmark, packets):
+    lpm = DIR24_8(max_tbl8_groups=1024)
+    for prefix, hop in make_random_routes(4_000):
+        lpm.add_route(prefix, hop)
+    lpm.add_route(Prefix.parse("0.0.0.0/0"), 1)  # default route
+    assert benchmark(_drain, lpm, packets) >= N_PACKETS
+
+
+def test_monitor_throughput(benchmark, packets):
+    mon = Monitor()
+    assert benchmark(_drain, mon, packets) >= N_PACKETS

@@ -1,0 +1,58 @@
+"""Supplementary: S-NIC control-plane operation costs (wall clock).
+
+Benchmarks the simulator's nf_launch / nf_attest / nf_teardown and the
+end-to-end packet path, to keep the core device model fast as it grows.
+(The paper's *simulated* latencies are covered by bench_fig6.)
+"""
+
+import pytest
+
+from repro.core import NFConfig, NICOS, SNIC
+from repro.core.vpp import VPPConfig
+from repro.crypto.dh import DHParams
+from repro.net.packet import Packet
+from repro.net.rules import MatchRule
+
+MB = 1024 * 1024
+SMALL_DH = DHParams(g=2, p=0xFFFFFFFB)
+
+
+def test_launch_teardown_cycle(benchmark):
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=31)
+
+    def cycle():
+        nf_id = snic.nf_launch(
+            NFConfig(name="bench", core_ids=(0,), memory_bytes=4 * MB,
+                     initial_image=b"x" * 4096)
+        )
+        snic.nf_teardown(nf_id)
+
+    benchmark(cycle)
+
+
+def test_attest_quote(benchmark):
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=32)
+    nf_id = snic.nf_launch(
+        NFConfig(name="bench", core_ids=(0,), memory_bytes=4 * MB)
+    )
+    benchmark(lambda: snic.nf_attest(nf_id, b"\x01" * 16, params=SMALL_DH))
+
+
+def test_packet_path(benchmark):
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=33)
+    nic_os = NICOS(snic)
+    vnic = nic_os.NF_create(
+        NFConfig(name="bench", core_ids=(0,), memory_bytes=4 * MB,
+                 vpp=VPPConfig(rules=[MatchRule()]))
+    )
+    frame = Packet.make("10.0.0.1", "8.8.8.8", src_port=1, dst_port=2)
+
+    def roundtrip():
+        snic.rx_port.wire_arrival(frame.copy())
+        snic.process_ingress()
+        packet = vnic.receive()
+        vnic.transmit(packet)
+        snic.process_egress()
+
+    benchmark(roundtrip)
+    assert snic.tx_port.transmitted

@@ -1,0 +1,60 @@
+"""Table 2: TLB hardware costs for programmable cores.
+
+Regenerates area (mm²) and power (W) for every (per-core memory, core
+count) cell, plus the 4-core relative overheads shown in parentheses.
+
+Paper values (4-core column): 183 entries → 0.045 / 0.026 (0.90%/1.36%),
+256 → 0.060 / 0.035 (1.20%/1.81%), 512 → 0.163 / 0.088 (3.19%/4.45%).
+"""
+
+from _common import print_table
+
+from repro.cost.mcpat import (
+    TABLE2_CORE_COUNTS,
+    TABLE2_MEMORY_CONFIGS,
+    TLBCostModel,
+)
+
+PAPER_4CORE = {
+    183: (0.045, 0.026),
+    256: (0.060, 0.035),
+    512: (0.163, 0.088),
+}
+
+
+def compute_table2():
+    model = TLBCostModel()
+    rows = []
+    for label, entries in TABLE2_MEMORY_CONFIGS.items():
+        area_cells = []
+        power_cells = []
+        for cores in TABLE2_CORE_COUNTS:
+            area, power = model.core_tlbs(entries, cores)
+            area_cells.append(area)
+            power_cells.append(power)
+        rel_area, rel_power = model.core_tlbs_relative(entries)
+        rows.append((label, entries, area_cells, power_cells, rel_area, rel_power))
+    return rows
+
+
+def test_table2(benchmark):
+    rows = benchmark(compute_table2)
+    printable = []
+    for label, entries, areas, powers, rel_area, rel_power in rows:
+        printable.append(
+            [f"{label}/core ({entries} entries)", "area"]
+            + [f"{a:.3f}" for a in areas]
+            + [f"({100 * rel_area:.2f}%)"]
+        )
+        printable.append(
+            ["", "power"] + [f"{p:.3f}" for p in powers] + [f"({100 * rel_power:.2f}%)"]
+        )
+    print_table(
+        "Table 2 — core TLB costs (mm² / W)",
+        ["memory", "metric", "4-core", "8-core", "16-core", "48-core", "rel(4c)"],
+        printable,
+    )
+    for label, entries, areas, powers, _, _ in rows:
+        paper_area, paper_power = PAPER_4CORE[entries]
+        assert abs(areas[0] - paper_area) < 0.002
+        assert abs(powers[0] - paper_power) < 0.002

@@ -1,0 +1,44 @@
+"""Table 3: TLB-bank costs for virtualized accelerators.
+
+Per-cluster TLB sizes come from the Table 7 memory profiles (DPI 54,
+ZIP 70, RAID 5 entries); cluster counts are 16/8/4 over 64 hardware
+threads.  Paper values at 16 clusters: DPI 0.074/0.037, ZIP 0.091/0.044,
+RAID 0.050/0.023.
+"""
+
+from _common import print_table
+
+from repro.cost.mcpat import TLBCostModel
+from repro.cost.pages import EQUAL_MENU
+from repro.cost.profiles import ACCEL_PROFILES
+
+CLUSTER_CONFIGS = [(16, 4), (8, 8), (4, 16)]  # (clusters, threads each)
+PAPER_16 = {"DPI": (0.074, 0.037), "ZIP": (0.091, 0.044), "RAID": (0.050, 0.023)}
+
+
+def compute_table3():
+    model = TLBCostModel()
+    entries = {
+        name: profile.tlb_entries(EQUAL_MENU)
+        for name, profile in ACCEL_PROFILES.items()
+    }
+    rows = []
+    for clusters, threads in CLUSTER_CONFIGS:
+        for name, n_entries in entries.items():
+            area, power = model.io_tlb_banks(n_entries, clusters)
+            rows.append((clusters, threads, name, n_entries, area, power))
+    return rows
+
+
+def test_table3(benchmark):
+    rows = benchmark(compute_table3)
+    print_table(
+        "Table 3 — accelerator TLB banks",
+        ["clusters", "threads/cluster", "accel", "TLB entries", "area mm²", "power W"],
+        rows,
+    )
+    for clusters, _, name, _, area, power in rows:
+        if clusters == 16:
+            paper_area, paper_power = PAPER_16[name]
+            assert abs(area - paper_area) < 0.002
+            assert abs(power - paper_power) < 0.002

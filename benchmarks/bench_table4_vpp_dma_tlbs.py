@@ -1,0 +1,49 @@
+"""Table 4: TLB banks for virtual packet pipelines + DMA controller.
+
+VPPs need 3 entries (PB/PDB/ODB), DMA banks 2 (PB + instruction queue);
+both land on McPAT's minimum-bank floor, so "2 TLB entries have the same
+cost estimation as 3".  48 programmable cores at {4, 8, 16} cores/NF give
+{12, 6, 3} banks.  Paper: 12 banks → 0.037/0.017 each.
+"""
+
+from _common import print_table
+
+from repro.cost.mcpat import TLBCostModel
+from repro.cost.pages import EQUAL_MENU
+from repro.cost.profiles import DMA_REGIONS, VPP_REGIONS
+from repro.cost.pages import entries_for
+
+N_CORES = 48
+CORES_PER_NF = (4, 8, 16)
+PAPER = {12: (0.037, 0.017), 6: (0.019, 0.009), 3: (0.009, 0.004)}
+
+
+def compute_table4():
+    model = TLBCostModel()
+    vpp_entries = entries_for(VPP_REGIONS, EQUAL_MENU)
+    dma_entries = entries_for(DMA_REGIONS, EQUAL_MENU)
+    rows = []
+    for per_nf in CORES_PER_NF:
+        banks = N_CORES // per_nf
+        vpp_area, vpp_power = model.io_tlb_banks(vpp_entries, banks)
+        dma_area, dma_power = model.io_tlb_banks(dma_entries, banks)
+        rows.append(
+            (banks, per_nf, vpp_entries, vpp_area, vpp_power,
+             dma_entries, dma_area, dma_power)
+        )
+    return rows
+
+
+def test_table4(benchmark):
+    rows = benchmark(compute_table4)
+    print_table(
+        "Table 4 — VPP + DMA TLB banks",
+        ["banks", "cores/NF", "VPP entries", "VPP mm²", "VPP W",
+         "DMA entries", "DMA mm²", "DMA W"],
+        rows,
+    )
+    for banks, _, _, vpp_area, vpp_power, _, dma_area, dma_power in rows:
+        paper_area, paper_power = PAPER[banks]
+        for area, power in ((vpp_area, vpp_power), (dma_area, dma_power)):
+            assert abs(area - paper_area) < 0.001
+            assert abs(power - paper_power) < 0.001

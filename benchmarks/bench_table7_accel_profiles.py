@@ -1,0 +1,35 @@
+"""Table 7: accelerator memory profiles and estimated TLB entries.
+
+Paper: DPI 101.90 MB → 54 entries, ZIP 132.24 MB → 70, RAID 8.13 MB → 5.
+"""
+
+from _common import print_table
+
+from repro.cost.pages import EQUAL_MENU, MB
+from repro.cost.profiles import ACCEL_PROFILES
+
+PAPER = {"DPI": 54, "ZIP": 70, "RAID": 5}
+
+
+def compute_table7():
+    rows = []
+    for name, profile in ACCEL_PROFILES.items():
+        region_text = ", ".join(
+            f"{rname}={size // 1024}K" if size < MB else f"{rname}={size / MB:.2f}M"
+            for rname, size in profile.regions
+        )
+        rows.append(
+            (name, region_text, profile.total / MB, profile.tlb_entries(EQUAL_MENU))
+        )
+    return rows
+
+
+def test_table7(benchmark):
+    rows = benchmark(compute_table7)
+    print_table(
+        "Table 7 — accelerator memory profiles",
+        ["accel", "regions", "total MB", "TLB entries"],
+        rows,
+    )
+    for name, _, _, entries in rows:
+        assert entries == PAPER[name]

@@ -1,0 +1,29 @@
+"""Table 8: memory utilization ratios (prealloc vs steady usage).
+
+Paper: FW 100.0%, DPI 100.0%, NAT 72.3%, LB 30.2%, LPM 100.0%, Mon 68.3%.
+"""
+
+from _common import print_table
+
+from repro.cost.profiles import mur_table
+
+PAPER_MUR = {"FW": 100.0, "DPI": 100.0, "NAT": 72.3, "LB": 30.2,
+             "LPM": 100.0, "Mon": 68.3}
+
+
+def compute_table8():
+    return [
+        (name, row["prealloc_mb"], row["used_mb"], 100.0 * row["mur"])
+        for name, row in mur_table().items()
+    ]
+
+
+def test_table8(benchmark):
+    rows = benchmark(compute_table8)
+    print_table(
+        "Table 8 — memory utilization ratios",
+        ["NF", "prealloc MB", "used MB", "MUR %"],
+        rows,
+    )
+    for name, _, _, mur in rows:
+        assert abs(mur - PAPER_MUR[name]) < 0.5

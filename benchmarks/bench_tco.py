@@ -1,0 +1,33 @@
+"""§5.2 TCO analysis: three-year per-core cost and the advantage ratio.
+
+Paper: LiquidIO $38.97/core, host $163.56/core, S-NIC $42.53/core;
+the NIC's TCO advantage drops 8.37% (91.6% preserved).
+"""
+
+from _common import print_table
+
+from repro.cost.tco import paper_tco_analysis
+
+
+def compute_tco():
+    return paper_tco_analysis().results()
+
+
+def test_tco(benchmark):
+    results = benchmark(compute_tco)
+    print_table(
+        "§5.2 — three-year TCO",
+        ["quantity", "reproduced", "paper"],
+        [
+            ("LiquidIO $/core", results["nic_tco_per_core"], 38.97),
+            ("Host $/core", results["host_tco_per_core"], 163.56),
+            ("S-NIC $/core", results["snic_tco_per_core"], 42.53),
+            ("advantage before (x)", results["advantage_before"], 4.20),
+            ("advantage after (x)", results["advantage_after"], 3.85),
+            ("advantage reduction %", results["advantage_reduction_pct"], 8.37),
+            ("benefit preserved %", results["benefit_preserved_pct"], 91.6),
+        ],
+    )
+    assert abs(results["nic_tco_per_core"] - 38.97) < 0.05
+    assert abs(results["snic_tco_per_core"] - 42.53) < 0.05
+    assert abs(results["advantage_reduction_pct"] - 8.37) < 0.1

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""The §3.3 attacks, live: commodity smart NICs vs S-NIC.
+
+Replays all three proof-of-concept attacks from the paper against the
+commodity NIC models (where they succeed) and against S-NIC (where the
+same attacker actions are blocked by trusted hardware).
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.commodity.agilio import AgilioNIC
+from repro.commodity.attacks import (
+    bus_dos_attack,
+    run_dpi_stealing_experiment,
+    run_packet_corruption_experiment,
+)
+from repro.commodity.bluefield import BlueFieldNIC
+from repro.core import IsolationViolation, NFConfig, NICOS, SNIC
+from repro.core.vpp import VPPConfig
+from repro.net.packet import Packet
+from repro.net.rules import MatchRule
+
+MB = 1024 * 1024
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 66}\n{text}\n{'=' * 66}")
+
+
+def demo_packet_corruption() -> None:
+    banner("Attack 1 — packet corruption (LiquidIO SE-S)")
+    result, clean, attacked = run_packet_corruption_experiment(n_packets=8)
+    print(f"commodity: {result.details}")
+    print(f"  NAT translations without attack: {clean}; with attack: {attacked}")
+
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=1)
+    nic_os = NICOS(snic)
+    victim = nic_os.NF_create(
+        NFConfig(name="mazunat", core_ids=(0,), memory_bytes=4 * MB,
+                 vpp=VPPConfig(rules=[MatchRule()]))
+    )
+    attacker = nic_os.NF_create(
+        NFConfig(name="malicious", core_ids=(1,), memory_bytes=4 * MB)
+    )
+    snic.rx_port.wire_arrival(Packet.make("10.0.0.1", "8.8.8.8"))
+    snic.process_ingress()
+    frame_addr, _ = snic.record(victim.nf_id).vpp.rx_ring.peek_descriptors()[0]
+    try:
+        attacker.write(frame_addr, b"\xff\xff\xff\xff")
+        print("S-NIC: ATTACK SUCCEEDED (this should never print)")
+    except IsolationViolation as blocked:
+        print(f"S-NIC: blocked — {blocked}")
+
+
+def demo_ruleset_stealing() -> None:
+    banner("Attack 2 — DPI ruleset stealing (LiquidIO)")
+    result, ruleset = run_dpi_stealing_experiment(ruleset=b"alert tcp any -> any 445\n" * 20)
+    print(f"commodity: {result.details}")
+    print(f"  recovered ruleset matches original: {result.evidence[0] == ruleset}")
+
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=2)
+    nic_os = NICOS(snic)
+    victim = nic_os.NF_create(
+        NFConfig(name="ids", core_ids=(0,), memory_bytes=4 * MB,
+                 initial_image=b"alert tcp any -> any 445\n" * 20)
+    )
+    attacker = nic_os.NF_create(
+        NFConfig(name="thief", core_ids=(1,), memory_bytes=4 * MB)
+    )
+    try:
+        attacker.read(snic.record(victim.nf_id).extent_base, 64)
+        print("S-NIC: ATTACK SUCCEEDED (this should never print)")
+    except IsolationViolation as blocked:
+        print(f"S-NIC: blocked — {blocked}")
+    # Even the *datacenter's own* NIC OS cannot read the ruleset:
+    try:
+        nic_os.attempt_function_state_read(victim.nf_id)
+    except IsolationViolation as blocked:
+        print(f"S-NIC: NIC OS also blocked — {blocked}")
+
+
+def demo_bus_dos() -> None:
+    banner("Attack 3 — IO bus denial-of-service (Agilio)")
+    result = bus_dos_attack(AgilioNIC())
+    print(f"commodity: {result.details}")
+
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=3)
+    nic_os = NICOS(snic)
+    victim = nic_os.NF_create(
+        NFConfig(name="victim", core_ids=(0,), memory_bytes=4 * MB)
+    )
+    attacker = nic_os.NF_create(
+        NFConfig(name="dos", core_ids=(1,), memory_bytes=4 * MB)
+    )
+    before = victim.bus_transfer(1024, now_ns=0.0)
+    for _ in range(5000):
+        attacker.bus_transfer(8, now_ns=0.0)
+    after = victim.bus_transfer(1024, now_ns=1e6)
+    print(f"S-NIC: no crash after 5000 back-to-back attacker ops; "
+          f"victim latencies {before:.0f} ns / {after:.0f} ns "
+          "(temporal partitioning confines the attacker to its own epochs)")
+
+
+def demo_bluefield_gap() -> None:
+    banner("Bonus — the BlueField TrustZone gap (§3.2)")
+    nic = BlueFieldNIC()
+    trustlet = nic.install_trustlet(4096)
+    nic.trustlet_write(trustlet, 0, b"tls-session-keys")
+    leaked = nic.secure_os_read_trustlet(trustlet.trustlet_id)
+    print(f"BlueField secure-world OS reads trustlet state: {leaked[:16]!r}")
+    print("S-NIC: the equivalent read is the denylisted NIC-OS access "
+          "blocked in Attack 2 above — functions are isolated even from "
+          "the management OS.")
+
+
+def main() -> None:
+    demo_packet_corruption()
+    demo_ruleset_stealing()
+    demo_bus_dos()
+    demo_bluefield_gap()
+    print("\nAll commodity attacks succeeded; all S-NIC replays were blocked.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline evaluation in one run.
+
+Prints a compact paper-vs-reproduced report covering §5's headline
+claims.  The logic lives in :mod:`repro.report` (also reachable as
+``python -m repro report``); per-table detail lives in
+``pytest benchmarks/``.
+
+Run:  python examples/evaluation_report.py
+"""
+
+from repro.report import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands:
+
+* ``report``  — the headline paper-vs-reproduced evaluation summary
+* ``attacks`` — replay the §3.3 attacks (commodity vs S-NIC)
+* ``info``    — version + package inventory (default)
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _info() -> None:
+    import repro
+
+    print(f"repro {repro.__version__} — S-NIC (EuroSys 2024) reproduction")
+    print("subpackages:", ", ".join(repro.__all__))
+    print()
+    print("commands: python -m repro [info|report|attacks]")
+    print("tests:    pytest tests/")
+    print("benches:  pytest benchmarks/ --benchmark-only -s")
+
+
+def main(argv: list) -> int:
+    command = argv[1] if len(argv) > 1 else "info"
+    if command == "info":
+        _info()
+    elif command == "report":
+        from repro.report import main as report_main
+
+        report_main()
+    elif command == "attacks":
+        from repro.commodity.attacks import (
+            bus_dos_attack,
+            run_dpi_stealing_experiment,
+            run_packet_corruption_experiment,
+        )
+        from repro.commodity.agilio import AgilioNIC
+
+        result, clean, attacked = run_packet_corruption_experiment()
+        print(f"packet corruption (LiquidIO): {result.details}; "
+              f"translations {clean} -> {attacked}")
+        result, ruleset = run_dpi_stealing_experiment()
+        print(f"DPI ruleset stealing (LiquidIO): {result.details}")
+        result = bus_dos_attack(AgilioNIC())
+        print(f"bus DoS (Agilio): {result.details}")
+        print("replays on S-NIC are all blocked — see examples/attack_demo.py")
+    else:
+        print(f"unknown command {command!r}", file=sys.stderr)
+        _info()
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,33 @@
+"""Behavioral workloads for the hardware accelerators.
+
+The paper profiles three accelerators (Table 7): DPI (regex/automaton
+matching — implemented in :mod:`repro.nf.dpi`), ZIP (a data compressor
+with a 32 KB dictionary), and RAID (a storage accelerator operating on
+scatter-gather buffers).  This subpackage provides from-scratch
+implementations of the latter two so accelerator requests can carry
+real work, exactly as the DPI requests carry Aho–Corasick scans:
+
+* :mod:`repro.accel.compress` — an LZ77-style compressor with a
+  sliding window sized like the ZIP accelerator's dictionary;
+* :mod:`repro.accel.raid` — RAID-5 XOR parity and RAID-6 P+Q parity
+  over GF(2^8), with reconstruction.
+"""
+
+from repro.accel.compress import lz_compress, lz_decompress
+from repro.accel.raid import (
+    gf_mul,
+    raid5_parity,
+    raid5_reconstruct,
+    raid6_pq,
+    raid6_reconstruct_two,
+)
+
+__all__ = [
+    "gf_mul",
+    "lz_compress",
+    "lz_decompress",
+    "raid5_parity",
+    "raid5_reconstruct",
+    "raid6_pq",
+    "raid6_reconstruct_two",
+]

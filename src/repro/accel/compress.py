@@ -1,0 +1,143 @@
+"""An LZ77-style compressor: the ZIP accelerator's behavioural payload.
+
+Table 7 gives the ZIP accelerator a 32 KB dictionary; we implement a
+sliding-window LZ77 with exactly that window.  The format is a simple
+token stream:
+
+* literal run:  ``0x00 | len(1B) | bytes``
+* back-reference: ``0x01 | distance(2B BE) | length(2B BE)``
+
+Matches are found with a chained hash table over 4-byte prefixes — the
+same structure hardware dictionary coders use.  Compression is
+deterministic and ``lz_decompress(lz_compress(x)) == x`` is
+property-tested against random and structured inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The ZIP accelerator's dictionary size (Table 7).
+WINDOW_BYTES = 32 * 1024
+
+_MIN_MATCH = 4
+_MAX_MATCH = 0xFFFF
+_MAX_LITERAL_RUN = 255
+_LITERAL = 0x00
+_MATCH = 0x01
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    """Hash of the 4 bytes at ``pos`` (FNV-style, bounded table)."""
+    value = (
+        data[pos]
+        | (data[pos + 1] << 8)
+        | (data[pos + 2] << 16)
+        | (data[pos + 3] << 24)
+    )
+    return (value * 2654435761) & 0xFFFF
+
+
+def lz_compress(data: bytes, window: int = WINDOW_BYTES) -> bytes:
+    """Compress ``data`` with a ``window``-byte sliding dictionary."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    out = bytearray()
+    literals = bytearray()
+    # head: hash -> most recent position; chain: position -> previous.
+    head: Dict[int, int] = {}
+    chain: Dict[int, int] = {}
+    n = len(data)
+    pos = 0
+
+    def flush_literals() -> None:
+        offset = 0
+        while offset < len(literals):
+            run = literals[offset : offset + _MAX_LITERAL_RUN]
+            out.append(_LITERAL)
+            out.append(len(run))
+            out.extend(run)
+            offset += len(run)
+        literals.clear()
+
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos + _MIN_MATCH <= n:
+            key = _hash4(data, pos)
+            candidate = head.get(key)
+            probes = 0
+            while candidate is not None and probes < 16:
+                distance = pos - candidate
+                if distance > window:
+                    break
+                length = 0
+                limit = min(n - pos, _MAX_MATCH)
+                while length < limit and data[candidate + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = distance
+                candidate = chain.get(candidate)
+                probes += 1
+        if best_len >= _MIN_MATCH:
+            flush_literals()
+            out.append(_MATCH)
+            out += best_dist.to_bytes(2, "big")
+            out += best_len.to_bytes(2, "big")
+            end = pos + best_len
+            while pos < end:
+                if pos + _MIN_MATCH <= n:
+                    key = _hash4(data, pos)
+                    chain[pos] = head.get(key)
+                    head[key] = pos
+                pos += 1
+        else:
+            if pos + _MIN_MATCH <= n:
+                key = _hash4(data, pos)
+                chain[pos] = head.get(key)
+                head[key] = pos
+            literals.append(data[pos])
+            pos += 1
+    flush_literals()
+    return bytes(out)
+
+
+def lz_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`lz_compress`."""
+    out = bytearray()
+    pos = 0
+    n = len(blob)
+    while pos < n:
+        token = blob[pos]
+        pos += 1
+        if token == _LITERAL:
+            if pos >= n:
+                raise ValueError("truncated literal header")
+            run = blob[pos]
+            pos += 1
+            if pos + run > n:
+                raise ValueError("truncated literal run")
+            out += blob[pos : pos + run]
+            pos += run
+        elif token == _MATCH:
+            if pos + 4 > n:
+                raise ValueError("truncated match token")
+            distance = int.from_bytes(blob[pos : pos + 2], "big")
+            length = int.from_bytes(blob[pos + 2 : pos + 4], "big")
+            pos += 4
+            if distance == 0 or distance > len(out):
+                raise ValueError("invalid back-reference distance")
+            start = len(out) - distance
+            for i in range(length):  # may overlap itself (RLE-style)
+                out.append(out[start + i])
+        else:
+            raise ValueError(f"unknown token 0x{token:02x}")
+    return bytes(out)
+
+
+def compression_ratio(data: bytes, window: int = WINDOW_BYTES) -> float:
+    """compressed/original size (1.0+ = incompressible)."""
+    if not data:
+        return 1.0
+    return len(lz_compress(data, window)) / len(data)

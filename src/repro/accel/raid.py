@@ -1,0 +1,142 @@
+"""RAID parity computation: the RAID accelerator's behavioural payload.
+
+The RAID accelerator of Table 7 processes scatter-gather buffers; the
+canonical operations are RAID-5 XOR parity and RAID-6 P+Q parity over
+GF(2^8) (the Reed-Solomon-style second syndrome).  Implemented from
+scratch:
+
+* GF(2^8) arithmetic with the AES/RAID-6 polynomial ``x^8+x^4+x^3+x^2+1``
+  (0x11D) via log/antilog tables;
+* P = ⊕ D_i,  Q = ⊕ g^i · D_i  (g = 2);
+* single-failure reconstruction from P, double-failure from P+Q.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+_POLY = 0x11D
+_GF_SIZE = 255
+
+# Build log/antilog tables for GF(2^8) with generator 2.
+_EXP = [0] * (2 * _GF_SIZE)
+_LOG = [0] * 256
+_value = 1
+for _i in range(_GF_SIZE):
+    _EXP[_i] = _value
+    _LOG[_value] = _i
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= _POLY
+for _i in range(_GF_SIZE, 2 * _GF_SIZE):
+    _EXP[_i] = _EXP[_i - _GF_SIZE]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(2^8); ``b`` must be nonzero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(2^8) division by zero")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % _GF_SIZE]
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    if base == 0:
+        return 0 if exponent else 1
+    return _EXP[(_LOG[base] * exponent) % _GF_SIZE]
+
+
+def _check_stripes(stripes: Sequence[bytes]) -> int:
+    if not stripes:
+        raise ValueError("need at least one data stripe")
+    length = len(stripes[0])
+    if any(len(s) != length for s in stripes):
+        raise ValueError("all stripes must be the same length")
+    if len(stripes) > _GF_SIZE:
+        raise ValueError("too many stripes for GF(2^8) RAID-6")
+    return length
+
+
+def raid5_parity(stripes: Sequence[bytes]) -> bytes:
+    """P parity: byte-wise XOR of all data stripes."""
+    length = _check_stripes(stripes)
+    parity = bytearray(length)
+    for stripe in stripes:
+        for i in range(length):
+            parity[i] ^= stripe[i]
+    return bytes(parity)
+
+
+def raid5_reconstruct(
+    surviving: Sequence[bytes], parity: bytes
+) -> bytes:
+    """Rebuild the single missing stripe from the survivors + P."""
+    return raid5_parity(list(surviving) + [parity])
+
+
+def raid6_pq(stripes: Sequence[bytes]) -> Tuple[bytes, bytes]:
+    """RAID-6 P and Q syndromes over the data stripes."""
+    length = _check_stripes(stripes)
+    p = bytearray(length)
+    q = bytearray(length)
+    for index, stripe in enumerate(stripes):
+        coefficient = gf_pow(2, index)
+        for i in range(length):
+            p[i] ^= stripe[i]
+            q[i] ^= gf_mul(coefficient, stripe[i])
+    return bytes(p), bytes(q)
+
+
+def raid6_reconstruct_two(
+    stripes: Sequence[bytes],
+    missing: Tuple[int, int],
+    p: bytes,
+    q: bytes,
+) -> Tuple[bytes, bytes]:
+    """Rebuild two missing data stripes from P and Q.
+
+    ``stripes`` holds all stripe slots with the two missing entries
+    passed as ``None``; ``missing`` gives their indices (x < y).
+    Standard RAID-6 double-failure algebra:
+
+        Dx = (g^{y-x}·(P ⊕ Pxy) ⊕ (Q ⊕ Qxy)/g^x) / (g^{y-x} ⊕ 1)
+        Dy = (P ⊕ Pxy) ⊕ Dx
+    """
+    x, y = missing
+    if not 0 <= x < y < len(stripes):
+        raise ValueError("missing indices must be distinct and ordered")
+    present = [
+        (index, stripe)
+        for index, stripe in enumerate(stripes)
+        if index not in (x, y)
+    ]
+    if any(stripe is None for _, stripe in present):
+        raise ValueError("only the two missing stripes may be None")
+    length = len(p)
+    pxy = bytearray(length)
+    qxy = bytearray(length)
+    for index, stripe in present:
+        coefficient = gf_pow(2, index)
+        for i in range(length):
+            pxy[i] ^= stripe[i]
+            qxy[i] ^= gf_mul(coefficient, stripe[i])
+    gx = gf_pow(2, x)
+    g_yx = gf_pow(2, y - x)
+    denominator = g_yx ^ 1
+    dx = bytearray(length)
+    dy = bytearray(length)
+    for i in range(length):
+        p_delta = p[i] ^ pxy[i]
+        q_delta = q[i] ^ qxy[i]
+        term = gf_mul(g_yx, p_delta) ^ gf_div(q_delta, gx)
+        dx[i] = gf_div(term, denominator)
+        dy[i] = p_delta ^ dx[i]
+    return bytes(dx), bytes(dy)

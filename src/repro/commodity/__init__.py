@@ -1,0 +1,51 @@
+"""Behavioral models of the commodity smart NICs the paper studies (§3.2)
+and the concrete attacks it demonstrates against them (§3.3).
+
+* :mod:`repro.commodity.liquidio` — Marvell LiquidIO: MIPS segments
+  (``xuseg``/``xkseg``/``xkphys``), SE-S and SE-UM execution modes, a
+  shared buffer allocator whose metadata is scannable through ``xkphys``.
+* :mod:`repro.commodity.agilio` — Netronome Agilio: islands with raw
+  physical addressing, shared crypto accelerators (contention side
+  channel), and an unarbitrated internal bus (the DoS hard-crash).
+* :mod:`repro.commodity.bluefield` — Mellanox BlueField: TrustZone
+  normal/secure worlds; protects NFs from the normal world but not from
+  the secure-world management OS, and not from microarchitectural
+  side channels.
+* :mod:`repro.commodity.attacks` — the three proof-of-concept attacks,
+  written against a capability interface so they can be replayed (and
+  shown to fail) on S-NIC.
+"""
+
+from repro.commodity.liquidio import (
+    BufferAllocator,
+    LiquidIOCore,
+    LiquidIONIC,
+    SE_S,
+    SE_UM,
+)
+from repro.commodity.agilio import AgilioIsland, AgilioNIC
+from repro.commodity.bluefield import BlueFieldNIC, TrustZoneWorld
+from repro.commodity.attacks import (
+    AttackBlocked,
+    AttackResult,
+    bus_dos_attack,
+    dpi_ruleset_stealing_attack,
+    packet_corruption_attack,
+)
+
+__all__ = [
+    "AgilioIsland",
+    "AgilioNIC",
+    "AttackBlocked",
+    "AttackResult",
+    "BlueFieldNIC",
+    "BufferAllocator",
+    "LiquidIOCore",
+    "LiquidIONIC",
+    "SE_S",
+    "SE_UM",
+    "TrustZoneWorld",
+    "bus_dos_attack",
+    "dpi_ruleset_stealing_attack",
+    "packet_corruption_attack",
+]

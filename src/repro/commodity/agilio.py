@@ -1,0 +1,147 @@
+"""Behavioral model of the Netronome Agilio LX smart NIC (§3.2).
+
+Security-relevant facts captured by the model:
+
+* Programmable cores are grouped into *islands*, each with island-private
+  SRAM — but "all of the memory units are accessed using raw physical
+  addresses — programmable cores are not restricted via page tables or
+  TLBs".  So "private" is a locality property, not a protection one: the
+  management OS (or a management-installed function) can read any
+  island's SRAM.
+* Cryptographic accelerators are shared by all cores; contention
+  "creates side channels that let a core determine whether other cores
+  are doing cryptography".
+* The internal IO bus has no bandwidth reservations; a tight loop of
+  ``test_subsat`` semaphore decrements saturated the bus and hard-crashed
+  the NIC (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.accelerator import (
+    AcceleratorEngine,
+    AcceleratorKind,
+    AcceleratorRequest,
+)
+from repro.hw.bus import BusCrashed, FCFSArbiter, IOBus
+from repro.hw.memory import PhysicalMemory
+
+ISLAND_SRAM_BYTES = 256 * 1024  # "each island has 256 KB of island-private SRAM"
+
+
+@dataclass
+class AgilioIsland:
+    """An island: a group of cores plus its SRAM *location*.
+
+    The SRAM is a region of the NIC's flat physical address map; the
+    model stores its base so any core can (by design flaw) address it.
+    """
+
+    island_id: int
+    sram_base: int
+    sram_size: int = ISLAND_SRAM_BYTES
+    resident_nf: Optional[int] = None
+
+
+class AgilioNIC:
+    """The NIC: islands over a flat physical map, shared accelerators."""
+
+    #: Semaphore ops are tiny but each crosses the bus; the attack issues
+    #: them back-to-back ("a tight loop ... decrement a semaphore in DRAM").
+    SEMAPHORE_OP_BYTES = 8
+
+    def __init__(
+        self,
+        n_islands: int = 8,
+        dram_bytes: int = 64 * 1024 * 1024,
+        bus_watchdog_ns: float = 2e5,
+    ) -> None:
+        self.memory = PhysicalMemory(dram_bytes, page_size=4096)
+        self.islands: List[AgilioIsland] = [
+            AgilioIsland(island_id=i, sram_base=0x0100_0000 + i * ISLAND_SRAM_BYTES)
+            for i in range(n_islands)
+        ]
+        self.bus = IOBus(
+            FCFSArbiter(
+                watchdog_timeout_ns=bus_watchdog_ns, per_request_overhead_ns=20.0
+            )
+        )
+        self.crypto = AcceleratorEngine(AcceleratorKind.CRYPTO, n_threads=8)
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Raw physical addressing (no page tables, no TLBs)
+    # ------------------------------------------------------------------
+
+    def raw_read(self, paddr: int, size: int) -> bytes:
+        self._check_alive()
+        return self.memory.read(paddr, size)
+
+    def raw_write(self, paddr: int, data: bytes) -> None:
+        self._check_alive()
+        self.memory.write(paddr, data)
+
+    def island_sram_write(self, island_id: int, offset: int, data: bytes) -> None:
+        """A function writes its own island's SRAM — via raw addressing."""
+        island = self.islands[island_id]
+        if offset + len(data) > island.sram_size:
+            raise ValueError("write beyond island SRAM")
+        self.raw_write(island.sram_base + offset, data)
+
+    def island_sram_read(self, island_id: int, offset: int, size: int) -> bytes:
+        """*Any* caller can read *any* island's SRAM: no access control."""
+        island = self.islands[island_id]
+        if offset + size > island.sram_size:
+            raise ValueError("read beyond island SRAM")
+        return self.raw_read(island.sram_base + offset, size)
+
+    # ------------------------------------------------------------------
+    # Shared crypto accelerator: the contention side channel
+    # ------------------------------------------------------------------
+
+    def crypto_op(self, owner: int, n_bytes: int, now_ns: float) -> float:
+        """Issue a crypto op; returns observed latency in ns.
+
+        All owners share the engine, so the latency a caller observes
+        depends on co-tenants' recent activity — the §3.2 side channel.
+        """
+        self._check_alive()
+        request = AcceleratorRequest(owner=owner, n_bytes=n_bytes, issue_ns=now_ns)
+        self.crypto.submit_shared(request)
+        return request.latency_ns
+
+    # ------------------------------------------------------------------
+    # Bus traffic and the DoS
+    # ------------------------------------------------------------------
+
+    def bus_op(self, owner: int, n_bytes: int, now_ns: float) -> float:
+        """One bus transaction; may crash the NIC under backlog."""
+        self._check_alive()
+        try:
+            return self.bus.transfer(owner, n_bytes, now_ns)
+        except BusCrashed:
+            self.crashed = True
+            raise
+
+    def semaphore_decrement_loop(
+        self, owner: int, iterations: int, now_ns: float = 0.0
+    ) -> None:
+        """The §3.3 attack loop: spam semaphore decrements at time zero.
+
+        Each decrement is a read-modify-write crossing the bus with no
+        pacing; with FCFS arbitration the backlog grows without bound.
+        """
+        for _ in range(iterations):
+            self.bus_op(owner, self.SEMAPHORE_OP_BYTES, now_ns)
+
+    def power_cycle(self) -> None:
+        """Recover from a hard crash (what operators must do, per §3.3)."""
+        self.bus.arbiter.reset()
+        self.crashed = False
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise BusCrashed("NIC is hard-crashed; power cycle required")

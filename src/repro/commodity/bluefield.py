@@ -1,0 +1,131 @@
+"""Behavioral model of the Mellanox BlueField smart NIC (§3.2).
+
+BlueField uses ARM TrustZone: a privilege bit splits execution into a
+"normal world" and a "secure world".  The facts the model captures:
+
+* Memory is split into a normal region and a secure region.  Normal code
+  cannot touch secure memory; secure code can touch everything.
+* The split is managed by secure code and can change dynamically.
+* BlueField runs the untrusted packet driver in the normal world and the
+  trusted part of an NF in the secure world (privilege separation).
+* **The gap the paper highlights**: a network function has *no*
+  protection from the secure-world management OS — secure code reads all
+  memory — and nothing prevents microarchitectural side channels through
+  the shared bus/caches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hw.bus import FCFSArbiter, IOBus
+from repro.hw.cache import Cache, CacheConfig
+from repro.hw.memory import AccessFault, PhysicalMemory
+
+
+class TrustZoneWorld(enum.Enum):
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+@dataclass
+class Trustlet:
+    """A small secure-world application (an NF's trusted half)."""
+
+    trustlet_id: int
+    state_base: int
+    state_size: int
+
+
+class BlueFieldNIC:
+    """TrustZone-partitioned NIC: secure/normal split, shared microarch."""
+
+    def __init__(
+        self,
+        dram_bytes: int = 64 * 1024 * 1024,
+        secure_fraction: float = 0.5,
+        l2_config: Optional[CacheConfig] = None,
+    ) -> None:
+        self.memory = PhysicalMemory(dram_bytes, page_size=4096)
+        self._secure_boundary = int(dram_bytes * secure_fraction)
+        # Shared microarchitectural state: one L2 and one bus for both
+        # worlds.  TrustZone does not partition these.
+        self.l2 = Cache(l2_config or CacheConfig(size_bytes=1 << 20, ways=8))
+        self.bus = IOBus(FCFSArbiter())
+        self.trustlets: Dict[int, Trustlet] = {}
+        self._next_trustlet_id = 1
+        self._next_secure_base = 0
+
+    # ------------------------------------------------------------------
+    # The TrustZone memory rule
+    # ------------------------------------------------------------------
+
+    def _is_secure_addr(self, addr: int) -> bool:
+        return addr < self._secure_boundary
+
+    def read(self, world: TrustZoneWorld, addr: int, size: int) -> bytes:
+        """World-checked read: normal code cannot read secure memory."""
+        if world is TrustZoneWorld.NORMAL and self._is_secure_addr(addr):
+            raise AccessFault("normal world cannot access secure memory")
+        return self.memory.read(addr, size)
+
+    def write(self, world: TrustZoneWorld, addr: int, data: bytes) -> None:
+        if world is TrustZoneWorld.NORMAL and self._is_secure_addr(addr):
+            raise AccessFault("normal world cannot access secure memory")
+        self.memory.write(addr, data)
+
+    def set_secure_boundary(self, world: TrustZoneWorld, boundary: int) -> None:
+        """Resize the secure region — only secure code may do this."""
+        if world is not TrustZoneWorld.SECURE:
+            raise AccessFault("only the secure world manages the memory split")
+        if not 0 <= boundary <= self.memory.size_bytes:
+            raise ValueError("boundary out of range")
+        self._secure_boundary = boundary
+
+    # ------------------------------------------------------------------
+    # Trustlets (NF trusted halves)
+    # ------------------------------------------------------------------
+
+    def install_trustlet(self, state_size: int) -> Trustlet:
+        """The secure OS installs a trustlet in secure memory."""
+        base = self._next_secure_base
+        if base + state_size > self._secure_boundary:
+            raise MemoryError("secure region exhausted")
+        self._next_secure_base += (state_size + 4095) & ~4095
+        trustlet = Trustlet(
+            trustlet_id=self._next_trustlet_id,
+            state_base=base,
+            state_size=state_size,
+        )
+        self._next_trustlet_id += 1
+        self.trustlets[trustlet.trustlet_id] = trustlet
+        return trustlet
+
+    def trustlet_write(self, trustlet: Trustlet, offset: int, data: bytes) -> None:
+        if offset + len(data) > trustlet.state_size:
+            raise AccessFault("write beyond trustlet state")
+        self.write(TrustZoneWorld.SECURE, trustlet.state_base + offset, data)
+
+    def secure_os_read_trustlet(self, trustlet_id: int) -> bytes:
+        """The secure-world management OS reads any trustlet's state.
+
+        This is allowed by TrustZone's model and is exactly the paper's
+        criticism: "BlueField does not isolate a network function from
+        the secure-world management OS".
+        """
+        t = self.trustlets[trustlet_id]
+        return self.read(TrustZoneWorld.SECURE, t.state_base, t.state_size)
+
+    # ------------------------------------------------------------------
+    # The residual side channel
+    # ------------------------------------------------------------------
+
+    def touch_cache(self, world_owner: int, addr: int) -> bool:
+        """A cache access attributable to ``world_owner``; returns hit.
+
+        The L2 is shared across worlds with no partitioning, so a normal-
+        world prime+probe attacker observes secure-world evictions.
+        """
+        return self.l2.access(addr, world_owner)

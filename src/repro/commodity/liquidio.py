@@ -1,0 +1,367 @@
+"""Behavioral model of the Marvell LiquidIO smart NIC (§3.2).
+
+The LiquidIO uses MIPS64 cores.  The security-relevant facts the model
+captures:
+
+* The virtual address space is segmented.  ``xuseg`` maps to physical
+  memory through per-core TLB entries configured by privileged software;
+  ``xkphys`` is *direct-mapped to physical memory without translation*.
+* In **SE-S** mode the bootloader installs each function on a core, all
+  functions run privileged, and every function gets full ``xkphys``
+  access — i.e., every NF can read and write all of physical RAM.
+* In **SE-UM** mode a Linux kernel manages functions as processes.
+  Depending on configuration, functions may still get ``xkphys``; even
+  when they do not, the kernel itself can tamper with any function.
+* All cores share one buffer allocator for packet buffers; its metadata
+  lives at a well-known physical address, which is how the §3.3 attacks
+  locate victim buffers.
+
+Segment base constants follow the MIPS64 layout in spirit (we use small
+round numbers rather than the real 2^62-scale constants so addresses
+stay readable in tests).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.bus import FCFSArbiter, IOBus
+from repro.hw.memory import AccessFault, PhysicalMemory
+from repro.hw.mmu import TLB, TLBEntry
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+
+SE_S = "SE-S"
+SE_UM = "SE-UM"
+
+#: Virtual segment bases (model-scale, not the literal MIPS constants).
+XUSEG_BASE = 0x0000_0000
+XKSEG_BASE = 0x4000_0000
+XKPHYS_BASE = 0x8000_0000
+
+#: Physical address of the shared buffer-allocator metadata table.
+ALLOCATOR_METADATA_BASE = 0x0010_0000
+ALLOCATOR_HEAP_BASE = 0x0020_0000
+ALLOCATOR_RECORD_BYTES = 24  # owner u64, addr u64, length u64
+
+#: Physical address of the switching-rule table the packet input module
+#: consults.  "These rules are configured by management software" (§3.1)
+#: — but on a LiquidIO they live in ordinary shared DRAM, reachable
+#: through any core's xkphys window.
+SWITCH_RULES_BASE = 0x0018_0000
+SWITCH_RULE_BYTES = 16  # dst_ip u32, dst_mask u32, nf_id u64
+
+
+class BufferAllocator:
+    """The NIC-wide packet-buffer allocator shared by all functions.
+
+    Allocation metadata (owner, address, length records) is stored *in
+    DRAM at a well-known location* — faithful to the LiquidIO software
+    stack, and the precise weakness both LiquidIO attacks exploit: any
+    core with ``xkphys`` can iterate the records and find every buffer
+    belonging to every function.
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        metadata_base: int = ALLOCATOR_METADATA_BASE,
+        heap_base: int = ALLOCATOR_HEAP_BASE,
+        heap_size: int = 32 * 1024 * 1024,
+        max_records: int = 4096,
+    ) -> None:
+        self.memory = memory
+        self.metadata_base = metadata_base
+        self.heap_base = heap_base
+        self.heap_size = heap_size
+        self.max_records = max_records
+        self._cursor = heap_base
+        self._n_records = 0
+
+    def allocate(self, owner: int, size: int) -> int:
+        """Allocate ``size`` bytes for ``owner``; returns the address."""
+        if self._cursor + size > self.heap_base + self.heap_size:
+            raise MemoryError("buffer allocator heap exhausted")
+        if self._n_records >= self.max_records:
+            raise MemoryError("buffer allocator metadata full")
+        addr = self._cursor
+        self._cursor += (size + 63) & ~63  # 64-byte alignment
+        record_addr = self.metadata_base + self._n_records * ALLOCATOR_RECORD_BYTES
+        self.memory.write(record_addr, struct.pack("<QQQ", owner, addr, size))
+        self._n_records += 1
+        return addr
+
+    def records(self) -> List[Tuple[int, int, int]]:
+        """Read back all (owner, addr, size) records from DRAM metadata."""
+        out = []
+        for i in range(self._n_records):
+            raw = self.memory.read(
+                self.metadata_base + i * ALLOCATOR_RECORD_BYTES,
+                ALLOCATOR_RECORD_BYTES,
+            )
+            out.append(struct.unpack("<QQQ", raw))
+        return out
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+
+@dataclass
+class InstalledNF:
+    """Book-keeping for one function resident on the NIC."""
+
+    nf_id: int
+    nf: NetworkFunction
+    core_id: int
+    xuseg_phys_base: int
+    xuseg_size: int
+    packet_buffers: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class LiquidIOCore:
+    """One MIPS core: xuseg through a TLB, xkphys raw when enabled."""
+
+    def __init__(
+        self,
+        core_id: int,
+        memory: PhysicalMemory,
+        xkphys_enabled: bool,
+        privileged: bool,
+    ) -> None:
+        self.core_id = core_id
+        self.memory = memory
+        self.xkphys_enabled = xkphys_enabled
+        self.privileged = privileged
+        self.tlb = TLB(capacity=64, name=f"liquidio-core{core_id}")
+        self.nf_id: Optional[int] = None
+
+    # --- the MIPS segment access path ---------------------------------
+
+    def read_virtual(self, vaddr: int, size: int) -> bytes:
+        return self.memory.read(self._resolve(vaddr), size)
+
+    def write_virtual(self, vaddr: int, data: bytes) -> None:
+        self.memory.write(self._resolve(vaddr), data)
+
+    def _resolve(self, vaddr: int) -> int:
+        if vaddr >= XKPHYS_BASE:
+            if not self.xkphys_enabled:
+                raise AccessFault(
+                    f"core {self.core_id}: xkphys access disabled by kernel"
+                )
+            return vaddr - XKPHYS_BASE  # direct map, no checks at all
+        if vaddr >= XKSEG_BASE:
+            if not self.privileged:
+                raise AccessFault(
+                    f"core {self.core_id}: xkseg requires privilege"
+                )
+            return self.tlb.translate(vaddr)
+        return self.tlb.translate(vaddr)
+
+    # --- raw physical convenience (what attack code calls) ------------
+
+    def xkphys_read(self, paddr: int, size: int) -> bytes:
+        """Read physical memory through the xkphys window."""
+        return self.read_virtual(XKPHYS_BASE + paddr, size)
+
+    def xkphys_write(self, paddr: int, data: bytes) -> None:
+        """Write physical memory through the xkphys window."""
+        self.write_virtual(XKPHYS_BASE + paddr, data)
+
+
+class LiquidIONIC:
+    """The NIC: cores + shared DRAM + shared allocator + unarbitrated bus."""
+
+    def __init__(
+        self,
+        mode: str = SE_S,
+        n_cores: int = 12,
+        dram_bytes: int = 256 * 1024 * 1024,
+        xkphys_for_functions: bool = True,
+        page_size: int = 4096,
+    ) -> None:
+        if mode not in (SE_S, SE_UM):
+            raise ValueError(f"unknown LiquidIO mode {mode!r}")
+        self.mode = mode
+        self.memory = PhysicalMemory(dram_bytes, page_size=page_size)
+        # In SE-S there is no kernel: functions run privileged with xkphys.
+        effective_xkphys = True if mode == SE_S else xkphys_for_functions
+        privileged = mode == SE_S
+        self.cores = [
+            LiquidIOCore(i, self.memory, effective_xkphys, privileged)
+            for i in range(n_cores)
+        ]
+        self.allocator = BufferAllocator(self.memory)
+        self.bus = IOBus(FCFSArbiter(watchdog_timeout_ns=5e6))
+        self._functions: Dict[int, InstalledNF] = {}
+        self._next_nf_id = 1
+        self._next_state_base = 0x0400_0000
+
+    # ------------------------------------------------------------------
+    # Function lifecycle (bootloader in SE-S, kernel in SE-UM)
+    # ------------------------------------------------------------------
+
+    def install_function(
+        self, nf: NetworkFunction, core_id: int, state_bytes: int = 1 << 20
+    ) -> InstalledNF:
+        """Install ``nf`` on a core: TLB entries point xuseg at its state.
+
+        In SE-S this happens once at boot; in SE-UM the kernel does it on
+        demand.  Either way there is no denylist: the state pages remain
+        reachable through any core's xkphys window.
+        """
+        core = self.cores[core_id]
+        if core.nf_id is not None:
+            raise AccessFault(f"core {core_id} already runs NF {core.nf_id}")
+        nf_id = self._next_nf_id
+        self._next_nf_id += 1
+        size = 1
+        while size < state_bytes:
+            size *= 2
+        base = self._next_state_base
+        self._next_state_base += size
+        core.tlb.install(TLBEntry(vbase=XUSEG_BASE, pbase=base, size=size))
+        core.nf_id = nf_id
+        installed = InstalledNF(
+            nf_id=nf_id,
+            nf=nf,
+            core_id=core_id,
+            xuseg_phys_base=base,
+            xuseg_size=size,
+        )
+        self._functions[nf_id] = installed
+        return installed
+
+    def function(self, nf_id: int) -> InstalledNF:
+        return self._functions[nf_id]
+
+    # ------------------------------------------------------------------
+    # The in-DRAM switching-rule table (management-configured, §3.1)
+    # ------------------------------------------------------------------
+
+    def configure_switch_rule(
+        self, index: int, dst_ip: int, dst_mask: int, nf_id: int
+    ) -> None:
+        """Management software installs one dst-prefix steering rule."""
+        self.memory.write(
+            SWITCH_RULES_BASE + index * SWITCH_RULE_BYTES,
+            struct.pack("<IIQ", dst_ip, dst_mask, nf_id),
+        )
+
+    def _classify(self, packet: Packet, max_rules: int = 64) -> Optional[int]:
+        """The packet input module's rule walk — straight out of DRAM."""
+        for index in range(max_rules):
+            raw = self.memory.read(
+                SWITCH_RULES_BASE + index * SWITCH_RULE_BYTES,
+                SWITCH_RULE_BYTES,
+            )
+            dst_ip, dst_mask, nf_id = struct.unpack("<IIQ", raw)
+            if nf_id == 0:
+                break  # empty slot terminates the table
+            if (packet.ip.dst_ip & dst_mask) == (dst_ip & dst_mask):
+                return nf_id
+        return None
+
+    def receive_from_wire(self, packet: Packet) -> Optional[int]:
+        """Full ingress: classify against the DRAM rule table, then
+        stage the packet into the winning function's buffer."""
+        nf_id = self._classify(packet)
+        if nf_id is None or nf_id not in self._functions:
+            return None
+        self.deliver_packet(nf_id, packet)
+        return nf_id
+
+    # ------------------------------------------------------------------
+    # Packet path: shared allocator buffers, like the real stack
+    # ------------------------------------------------------------------
+
+    def deliver_packet(self, nf_id: int, packet: Packet) -> int:
+        """Stage an incoming packet into an allocator buffer for ``nf_id``.
+
+        Returns the physical buffer address (recorded in shared metadata,
+        which is the attack surface).
+        """
+        installed = self._functions[nf_id]
+        frame = packet.to_bytes()
+        addr = self.allocator.allocate(nf_id, len(frame))
+        self.memory.write(addr, frame)
+        installed.packet_buffers.append((addr, len(frame)))
+        return addr
+
+    def run_function_on_buffers(self, nf_id: int) -> List[Packet]:
+        """The function core processes every staged buffer through its NF."""
+        installed = self._functions[nf_id]
+        outputs: List[Packet] = []
+        for addr, length in installed.packet_buffers:
+            frame = self.memory.read(addr, length)
+            result = installed.nf.process(Packet.from_bytes(frame))
+            if result is not None:
+                outputs.append(result)
+        installed.packet_buffers.clear()
+        return outputs
+
+    def store_function_data(self, nf_id: int, blob: bytes) -> int:
+        """A function stores private data (e.g. a DPI ruleset) in DRAM.
+
+        On a LiquidIO this goes through the same shared allocator —
+        there is nowhere else — so its location is discoverable.
+        """
+        addr = self.allocator.allocate(nf_id, len(blob))
+        self.memory.write(addr, blob)
+        return addr
+
+
+class LiquidIOKernel:
+    """The SE-UM management kernel's syscall surface.
+
+    §3.2: with function-level ``xkphys`` disabled, "the NIC can be
+    configured to force functions to use system calls to manipulate
+    packets".  That protects functions from *each other* — but, as the
+    paper stresses, "functions cannot protect themselves from a buggy or
+    malicious OS": every syscall hands the packet to kernel code that
+    can read or rewrite it at will.  :meth:`compromise` models that
+    kernel-level tampering.
+    """
+
+    def __init__(self, nic: LiquidIONIC) -> None:
+        if nic.mode != SE_UM:
+            raise ValueError("the syscall interface exists only in SE-UM mode")
+        self.nic = nic
+        self.syscall_count = 0
+        self._tamper: Optional[callable] = None
+        self._observed: List[bytes] = []
+
+    def compromise(self, tamper) -> None:
+        """Install malicious kernel behaviour: ``tamper(frame) -> frame``."""
+        self._tamper = tamper
+
+    @property
+    def observed_frames(self) -> List[bytes]:
+        """Everything the kernel has seen (it sees *all* packet data)."""
+        return list(self._observed)
+
+    def sys_recv_packet(self, nf_id: int) -> Optional[Packet]:
+        """Syscall: pop the next staged packet for ``nf_id``."""
+        self.syscall_count += 1
+        installed = self.nic.function(nf_id)
+        if not installed.packet_buffers:
+            return None
+        addr, length = installed.packet_buffers.pop(0)
+        frame = self.nic.memory.read(addr, length)
+        self._observed.append(frame)
+        if self._tamper is not None:
+            frame = self._tamper(frame)
+        return Packet.from_bytes(frame)
+
+    def sys_send_packet(self, nf_id: int, packet: Packet) -> bytes:
+        """Syscall: transmit; the kernel again sees (and may rewrite)
+        the frame on its way to the wire."""
+        self.syscall_count += 1
+        frame = packet.to_bytes()
+        self._observed.append(frame)
+        if self._tamper is not None:
+            frame = self._tamper(frame)
+        return frame

@@ -1,0 +1,96 @@
+"""S-NIC: the paper's primary contribution.
+
+The public surface:
+
+* :class:`~repro.core.snic.SNIC` — the trusted hardware device with the
+  three Table 1 instructions (``nf_launch``/``nf_attest``/``nf_teardown``).
+* :class:`~repro.core.snic.NFConfig` — a launch request.
+* :class:`~repro.core.virtual_nic.VirtualNIC` — a function's handle to
+  its isolated slice.
+* :class:`~repro.core.nic_os.NICOS` — the untrusted management OS and
+  its Table 1 management API.
+* :mod:`~repro.core.attestation` / :mod:`~repro.core.constellation` —
+  remote attestation and secure constellations (§4.7).
+* :mod:`~repro.core.cache_policy` / :mod:`~repro.core.vpp` /
+  :mod:`~repro.core.timing` — the §4.2/§4.4/Appendix-C machinery.
+"""
+
+from repro.core.attestation import (
+    AttestationQuote,
+    FunctionAttestationSession,
+    Verifier,
+    build_quote,
+)
+from repro.core.cache_policy import NIC_OS_OWNER, SecDCPPolicy, StaticPartitionPolicy
+from repro.core.chaining import ChainError, CrossVPPLink, FunctionChain
+from repro.core.constellation import Constellation, PCIeTap, SecureChannel, SGXEnclave
+from repro.core.egress import DRREgressScheduler
+from repro.core.noninterference import (
+    AttackerProgram,
+    check_noninterference,
+    run_experiment,
+)
+from repro.core.errors import (
+    AttestationError,
+    FatalFunctionError,
+    IsolationViolation,
+    LaunchError,
+    SNICError,
+    TeardownError,
+)
+from repro.core.nic_os import NICOS
+from repro.core.runtime import RuntimeStats, SNICRuntime
+from repro.core.snic import LaunchRecord, NFConfig, SNIC
+from repro.core.tunnel import TunnelEndpoint, TunnelError, tunnel_pair
+from repro.core.vdpi import VirtualDPI, serialize_automaton
+from repro.core.timing import DEFAULT_TIMING, InstructionTimingModel
+from repro.core.virtual_nic import VirtualNIC
+from repro.core.vpp import (
+    SchedulerAlgorithm,
+    VirtualPacketPipeline,
+    VPPConfig,
+)
+
+__all__ = [
+    "AttackerProgram",
+    "AttestationError",
+    "AttestationQuote",
+    "ChainError",
+    "Constellation",
+    "CrossVPPLink",
+    "DRREgressScheduler",
+    "FunctionChain",
+    "check_noninterference",
+    "run_experiment",
+    "DEFAULT_TIMING",
+    "FatalFunctionError",
+    "FunctionAttestationSession",
+    "InstructionTimingModel",
+    "IsolationViolation",
+    "LaunchError",
+    "LaunchRecord",
+    "NFConfig",
+    "NICOS",
+    "NIC_OS_OWNER",
+    "PCIeTap",
+    "SGXEnclave",
+    "SNIC",
+    "RuntimeStats",
+    "SNICError",
+    "SNICRuntime",
+    "SchedulerAlgorithm",
+    "TunnelEndpoint",
+    "TunnelError",
+    "VirtualDPI",
+    "serialize_automaton",
+    "tunnel_pair",
+    "SecDCPPolicy",
+    "SecureChannel",
+    "StaticPartitionPolicy",
+    "TeardownError",
+    "VPPConfig",
+    "Verifier",
+    "VirtualNIC",
+    "VirtualPacketPipeline",
+    "build_quote",
+]

@@ -1,0 +1,110 @@
+"""Cache partitioning policies (§4.2, "Eliminating side channels").
+
+S-NIC must prevent cache-based side channels; soft partitioning (Intel
+CAT) is insufficient because hits can be satisfied from any region.  Two
+policies are offered:
+
+* :class:`StaticPartitionPolicy` — hard 1/N partitioning.  Eliminates
+  all cross-tenant cache channels, but cannot resize with load.
+* :class:`SecDCPPolicy` — SecDCP-style dynamic partitioning.  Each
+  function keeps a guaranteed minimum; only the NIC OS's slack ways are
+  redistributed, and the controller's decisions read **only the NIC OS's
+  utilization**, so information can flow NIC-OS→functions but never
+  function→anything ("S-NIC can use SecDCP cache partitioning ... only
+  resizes allocations in response to the cache behavior of the NIC OS").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hw.cache import Cache, HARD
+
+
+#: The owner id the NIC OS uses in cache accounting.
+NIC_OS_OWNER = 0
+
+
+@dataclass
+class StaticPartitionPolicy:
+    """Equal hard split of L2 ways across live functions (+ NIC OS)."""
+
+    os_ways: int = 1
+
+    def apply(self, cache: Cache, nf_ids: List[int]) -> Dict[int, int]:
+        """Repartition ``cache``; returns the ways-per-owner map."""
+        allocation: Dict[int, int] = {NIC_OS_OWNER: self.os_ways}
+        if nf_ids:
+            available = cache.config.ways - self.os_ways
+            share = available // len(nf_ids)
+            if share < 1:
+                raise ValueError(
+                    f"{len(nf_ids)} functions cannot each get a way of a "
+                    f"{cache.config.ways}-way cache (OS reserves {self.os_ways})"
+                )
+            for nf_id in nf_ids:
+                allocation[nf_id] = share
+        cache.set_partitions(allocation, mode=HARD)
+        return allocation
+
+
+@dataclass
+class SecDCPPolicy:
+    """Dynamic partitioning with a one-way information flow.
+
+    Functions get ``min_ways`` each, guaranteed.  The NIC OS starts with
+    all slack ways; when the controller observes *the NIC OS's* miss rate
+    is low, it donates slack ways to functions (round-robin); when the
+    OS's miss rate is high, it reclaims them.  Function behaviour is
+    never an input, so functions cannot signal each other through the
+    controller.
+    """
+
+    min_ways: int = 1
+    os_min_ways: int = 1
+    donate_below_miss_rate: float = 0.05
+    reclaim_above_miss_rate: float = 0.30
+
+    def initial(self, cache: Cache, nf_ids: List[int]) -> Dict[int, int]:
+        allocation = {nf_id: self.min_ways for nf_id in nf_ids}
+        used = self.min_ways * len(nf_ids)
+        slack = cache.config.ways - used
+        if slack < self.os_min_ways:
+            raise ValueError("not enough ways for the NIC OS minimum")
+        allocation[NIC_OS_OWNER] = slack
+        cache.set_partitions(allocation, mode=HARD)
+        return allocation
+
+    def apply(self, cache: Cache, nf_ids: List[int]) -> Dict[int, int]:
+        """Policy-interface alias so :class:`repro.core.snic.SNIC` can
+        use SecDCP interchangeably with static partitioning."""
+        return self.initial(cache, nf_ids)
+
+    def rebalance(self, cache: Cache, allocation: Dict[int, int]) -> Dict[int, int]:
+        """One control step.  Reads ONLY the NIC OS's statistics."""
+        os_stats = cache.stats.get(NIC_OS_OWNER)
+        os_miss_rate = os_stats.miss_rate if os_stats else 0.0
+        new_allocation = dict(allocation)
+        nf_ids = sorted(k for k in allocation if k != NIC_OS_OWNER)
+        if not nf_ids:
+            return allocation
+        if (
+            os_miss_rate < self.donate_below_miss_rate
+            and new_allocation[NIC_OS_OWNER] > self.os_min_ways
+        ):
+            # Donate one way to the function with the fewest ways
+            # (a function-independent, deterministic tie-break).
+            target = min(nf_ids, key=lambda i: (new_allocation[i], i))
+            new_allocation[NIC_OS_OWNER] -= 1
+            new_allocation[target] += 1
+        elif os_miss_rate > self.reclaim_above_miss_rate:
+            # Reclaim one way from the function with the most ways,
+            # never dipping below the guaranteed minimum.
+            target = max(nf_ids, key=lambda i: (new_allocation[i], -i))
+            if new_allocation[target] > self.min_ways:
+                new_allocation[target] -= 1
+                new_allocation[NIC_OS_OWNER] += 1
+        if new_allocation != allocation:
+            cache.set_partitions(new_allocation, mode=HARD)
+        return new_allocation

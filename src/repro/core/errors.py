@@ -1,0 +1,33 @@
+"""S-NIC error types.
+
+``nf_launch`` and friends fail atomically (§4.1): when any validation
+step fails, no partial state is left behind.  Each failure mode has a
+distinct exception so tests can assert the precise check that fired.
+"""
+
+from __future__ import annotations
+
+
+class SNICError(Exception):
+    """Base class for all S-NIC hardware errors."""
+
+
+class LaunchError(SNICError):
+    """``nf_launch`` rejected the request (resources busy/invalid)."""
+
+
+class TeardownError(SNICError):
+    """``nf_teardown`` could not find or release the function."""
+
+
+class IsolationViolation(SNICError):
+    """Trusted hardware blocked an access that would cross an isolation
+    boundary (the S-NIC analogue of a successful commodity attack)."""
+
+
+class AttestationError(SNICError):
+    """Attestation evidence failed verification."""
+
+
+class FatalFunctionError(SNICError):
+    """A locked-TLB miss: per §4.2 the function is destroyed."""

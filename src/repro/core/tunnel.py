@@ -1,0 +1,95 @@
+"""Attested secure tunnels (Figure 4a).
+
+"An S-NIC tunnel connects the gateways and the function to hide packet
+headers from the untrusted cloud."  After attestation establishes a
+session key (§4.7), both ends wrap tenant packets in an
+encrypt-then-MAC envelope:
+
+    envelope = seq(8B) | ciphertext | tag(32B)
+    ciphertext = ChaCha20(enc_key, nonce=seq, inner frame)
+    tag = SHA-256(mac_key | seq | ciphertext)
+
+The cloud operator on the path sees only envelopes: no inner headers,
+no payloads, and any bit-flip or replay is rejected by the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.errors import SNICError
+from repro.crypto.chacha20 import chacha20_xor, nonce_from_sequence
+from repro.crypto.sha256 import sha256
+from repro.net.packet import Packet
+
+_SEQ_BYTES = 8
+_TAG_BYTES = 32
+
+
+class TunnelError(SNICError):
+    """Envelope rejected: bad tag, replay, or truncation."""
+
+
+def _derive(session_key: bytes, label: bytes) -> bytes:
+    return sha256(label + session_key)
+
+
+@dataclass
+class TunnelEndpoint:
+    """One end of an attested tunnel.
+
+    Both ends construct from the same attestation session key; each
+    maintains its own send sequence and a receive high-water mark, so
+    replayed or reordered envelopes are rejected.
+    """
+
+    session_key: bytes
+    _enc_key: bytes = field(init=False, repr=False)
+    _mac_key: bytes = field(init=False, repr=False)
+    _send_seq: int = 0
+    _recv_seq: int = -1
+
+    def __post_init__(self) -> None:
+        if len(self.session_key) < 16:
+            raise ValueError("session key too short")
+        self._enc_key = _derive(self.session_key, b"snic-tunnel-enc:")
+        self._mac_key = _derive(self.session_key, b"snic-tunnel-mac:")
+
+    # ------------------------------------------------------------------
+
+    def seal(self, packet: Packet) -> bytes:
+        """Wrap ``packet`` in an envelope for the wire."""
+        frame = packet.to_bytes()
+        seq = self._send_seq
+        self._send_seq += 1
+        ciphertext = chacha20_xor(
+            self._enc_key, nonce_from_sequence(seq), frame
+        )
+        seq_bytes = seq.to_bytes(_SEQ_BYTES, "big")
+        tag = sha256(self._mac_key + seq_bytes + ciphertext)
+        return seq_bytes + ciphertext + tag
+
+    def open(self, envelope: bytes) -> Packet:
+        """Verify and decrypt an envelope; raises :class:`TunnelError`."""
+        if len(envelope) < _SEQ_BYTES + _TAG_BYTES:
+            raise TunnelError("envelope truncated")
+        seq_bytes = envelope[:_SEQ_BYTES]
+        tag = envelope[-_TAG_BYTES:]
+        ciphertext = envelope[_SEQ_BYTES:-_TAG_BYTES]
+        expected = sha256(self._mac_key + seq_bytes + ciphertext)
+        if tag != expected:
+            raise TunnelError("authentication tag mismatch (tampering)")
+        seq = int.from_bytes(seq_bytes, "big")
+        if seq <= self._recv_seq:
+            raise TunnelError(f"replayed or reordered envelope (seq {seq})")
+        self._recv_seq = seq
+        frame = chacha20_xor(
+            self._enc_key, nonce_from_sequence(seq), ciphertext
+        )
+        return Packet.from_bytes(frame)
+
+
+def tunnel_pair(session_key: bytes) -> Tuple[TunnelEndpoint, TunnelEndpoint]:
+    """Both ends of a tunnel sharing one attested key."""
+    return TunnelEndpoint(session_key), TunnelEndpoint(session_key)

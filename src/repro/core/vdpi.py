@@ -1,0 +1,154 @@
+"""The virtual DPI data path (§4.3, Figure 3b), memory-mediated.
+
+Figure 3 describes how a function uses the DPI accelerator: (1) write a
+finite-automata graph to RAM, (2) register the graph with the DPI, (3)
+register the instruction queue.  The accelerator's hardware threads then
+pull the graph from the function's RAM — on S-NIC, *through the
+cluster's locked TLB bank*, which is what confines them to the owner's
+memory.
+
+:class:`VirtualDPI` implements that flow end to end on the simulator:
+
+* :meth:`load_graph` serializes an Aho–Corasick automaton into the
+  function's own extent (through the function's virtual address space);
+* :meth:`scan` submits an accelerator request whose *work* is a graph
+  walk in which **every node fetch is a memory read translated by the
+  cluster's TLB** — the data path physically cannot dereference another
+  tenant's graph.
+
+The serialized node format (little-endian):
+
+    u32 fail_state | u32 n_outputs | u32 n_transitions
+    | n_outputs  × u32 pattern_id
+    | n_transitions × (u8 byte, u32 next_state)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.errors import IsolationViolation
+from repro.hw.accelerator import AcceleratorKind, AcceleratorRequest
+from repro.nf.dpi import AhoCorasick
+
+_HEADER = struct.Struct("<III")
+_TRANSITION = struct.Struct("<BI")
+_OUTPUT = struct.Struct("<I")
+
+
+def serialize_automaton(automaton: AhoCorasick) -> Tuple[bytes, List[int]]:
+    """The DPI graph as bytes + the node offset table."""
+    blob = bytearray()
+    offsets: List[int] = []
+    for state in range(automaton.n_states):
+        offsets.append(len(blob))
+        transitions = sorted(automaton._goto[state].items())
+        outputs = sorted(automaton._output[state])
+        blob += _HEADER.pack(
+            automaton._fail[state], len(outputs), len(transitions)
+        )
+        for pattern_id in outputs:
+            blob += _OUTPUT.pack(pattern_id)
+        for byte, nxt in transitions:
+            blob += _TRANSITION.pack(byte, nxt)
+    return bytes(blob), offsets
+
+
+@dataclass
+class _Node:
+    fail: int
+    outputs: Tuple[int, ...]
+    transitions: dict
+
+
+class VirtualDPI:
+    """A function's handle to one of its DPI clusters."""
+
+    def __init__(self, vnic, cluster_index: int = 0) -> None:
+        clusters = vnic.clusters(AcceleratorKind.DPI)
+        if not clusters:
+            raise IsolationViolation(
+                f"NF {vnic.nf_id} owns no DPI cluster"
+            )
+        self.vnic = vnic
+        self.cluster = clusters[cluster_index]
+        self._graph_vbase: Optional[int] = None
+        self._offsets: List[int] = []
+        self.graph_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def load_graph(self, automaton: AhoCorasick, vbase: int = 0x10000) -> int:
+        """Steps (1)+(2): write the graph to RAM and register it."""
+        blob, offsets = serialize_automaton(automaton)
+        self.vnic.write(vbase, blob)
+        self._graph_vbase = vbase
+        self._offsets = offsets
+        self.graph_bytes = len(blob)
+        return len(blob)
+
+    # ------------------------------------------------------------------
+    # The hardware thread's graph walk: every fetch goes through the
+    # cluster's locked TLB bank, then raw physical memory.
+    # ------------------------------------------------------------------
+
+    def _fetch(self, voffset: int, size: int) -> bytes:
+        paddr = self.cluster.tlb.translate_range(
+            self._graph_vbase + voffset, size
+        )
+        return self.vnic._snic.memory.read(paddr, size)
+
+    def _read_node(self, state: int) -> _Node:
+        offset = self._offsets[state]
+        fail, n_outputs, n_transitions = _HEADER.unpack(
+            self._fetch(offset, _HEADER.size)
+        )
+        cursor = offset + _HEADER.size
+        outputs = []
+        for _ in range(n_outputs):
+            (pattern_id,) = _OUTPUT.unpack(self._fetch(cursor, _OUTPUT.size))
+            outputs.append(pattern_id)
+            cursor += _OUTPUT.size
+        transitions = {}
+        for _ in range(n_transitions):
+            byte, nxt = _TRANSITION.unpack(self._fetch(cursor, _TRANSITION.size))
+            transitions[byte] = nxt
+            cursor += _TRANSITION.size
+        return _Node(fail=fail, outputs=tuple(outputs), transitions=transitions)
+
+    def _walk(self, payload: bytes) -> List[Tuple[int, int]]:
+        matches: List[Tuple[int, int]] = []
+        state = 0
+        for position, byte in enumerate(payload):
+            while True:
+                node = self._read_node(state)
+                if byte in node.transitions:
+                    state = node.transitions[byte]
+                    break
+                if state == 0:
+                    break
+                state = node.fail
+            for pattern_id in self._read_node(state).outputs:
+                matches.append((position + 1, pattern_id))
+        return matches
+
+    # ------------------------------------------------------------------
+
+    def scan(self, payload: bytes, issue_ns: float = 0.0) -> AcceleratorRequest:
+        """Step (3): enqueue a scan; the cluster walks the in-RAM graph."""
+        if self._graph_vbase is None:
+            raise IsolationViolation("no DPI graph registered")
+        return self.cluster.submit(
+            AcceleratorRequest(
+                owner=self.vnic.nf_id,
+                n_bytes=len(payload),
+                issue_ns=issue_ns,
+                work=lambda: self._walk(payload),
+            )
+        )
+
+    def scan_matches(self, payload: bytes) -> List[Tuple[int, int]]:
+        """Convenience: just the ``(end_offset, pattern_id)`` matches."""
+        return self.scan(payload).result

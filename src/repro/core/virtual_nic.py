@@ -1,0 +1,147 @@
+"""The virtual smart NIC: a function's view of its S-NIC slice (§4).
+
+"S-NIC binds each network function to a virtual smart NIC" aggregating
+cores, accelerators, RAM, and reserved packet/bus bandwidth.  A
+:class:`VirtualNIC` is the handle the function's code holds; every
+operation it offers is mediated by the locked hardware state that
+``nf_launch`` configured, so a function simply *cannot name* resources
+outside its slice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.attestation import FunctionAttestationSession
+from repro.core.errors import IsolationViolation
+from repro.crypto.dh import DEFAULT_DH_PARAMS, DHParams
+from repro.hw.accelerator import AcceleratorCluster, AcceleratorKind, AcceleratorRequest
+from repro.hw.mmu import TLBMiss
+from repro.net.packet import Packet
+from repro.nf.base import NetworkFunction
+
+
+class VirtualNIC:
+    """A launched function's private smart NIC."""
+
+    def __init__(self, snic, nf_id: int) -> None:
+        self._snic = snic
+        self.nf_id = nf_id
+
+    @property
+    def _record(self):
+        return self._snic.record(self.nf_id)
+
+    @property
+    def name(self) -> str:
+        return self._record.config.name
+
+    @property
+    def state_hash(self) -> bytes:
+        """The cumulative launch hash (what attestation vouches for)."""
+        return self._record.state_hash
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._record.extent_bytes
+
+    @property
+    def core_ids(self) -> List[int]:
+        return list(self._record.config.core_ids)
+
+    # ------------------------------------------------------------------
+    # Memory: only through the locked per-core TLBs
+    # ------------------------------------------------------------------
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        """Load from the function's virtual address space."""
+        core = self._snic.cores[self.core_ids[0]]
+        try:
+            return core.load(vaddr, size)
+        except TLBMiss as miss:
+            raise IsolationViolation(
+                f"NF {self.nf_id}: no mapping for {miss.vaddr:#x} — on real "
+                "S-NIC hardware this locked-TLB miss destroys the function"
+            ) from miss
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        """Store into the function's virtual address space."""
+        core = self._snic.cores[self.core_ids[0]]
+        try:
+            core.store(vaddr, data)
+        except TLBMiss as miss:
+            raise IsolationViolation(
+                f"NF {self.nf_id}: no mapping for {miss.vaddr:#x}"
+            ) from miss
+
+    # ------------------------------------------------------------------
+    # Packets: only through the function's own VPP rings
+    # ------------------------------------------------------------------
+
+    def receive(self) -> Optional[Packet]:
+        return self._record.vpp.receive()
+
+    def receive_all(self) -> List[Packet]:
+        packets: List[Packet] = []
+        while True:
+            packet = self.receive()
+            if packet is None:
+                return packets
+            packets.append(packet)
+
+    def transmit(self, packet: Packet) -> None:
+        self._record.vpp.transmit(packet)
+
+    def run(self, nf: NetworkFunction, max_packets: Optional[int] = None) -> int:
+        """Drain the RX ring through ``nf``; queue survivors on TX.
+
+        Returns the number of packets processed.
+        """
+        processed = 0
+        while max_packets is None or processed < max_packets:
+            packet = self.receive()
+            if packet is None:
+                break
+            result = nf.process(packet)
+            if result is not None:
+                self.transmit(result)
+            processed += 1
+        return processed
+
+    # ------------------------------------------------------------------
+    # Accelerators: only the function's own clusters
+    # ------------------------------------------------------------------
+
+    def clusters(self, kind: AcceleratorKind) -> List[AcceleratorCluster]:
+        return [c for c in self._record.clusters if c.kind is kind]
+
+    def accelerate(
+        self,
+        kind: AcceleratorKind,
+        n_bytes: int,
+        issue_ns: float = 0.0,
+        work=None,
+    ) -> AcceleratorRequest:
+        """Submit one request to an owned cluster of ``kind``."""
+        owned = self.clusters(kind)
+        if not owned:
+            raise IsolationViolation(
+                f"NF {self.nf_id} owns no {kind.value} cluster"
+            )
+        request = AcceleratorRequest(
+            owner=self.nf_id, n_bytes=n_bytes, issue_ns=issue_ns, work=work
+        )
+        return owned[0].submit(request)
+
+    # ------------------------------------------------------------------
+    # Bus and attestation
+    # ------------------------------------------------------------------
+
+    def bus_transfer(self, n_bytes: int, now_ns: float = 0.0) -> float:
+        """A memory-bus transaction inside the function's own epochs."""
+        return self._snic.bus.transfer(self.nf_id, n_bytes, now_ns)
+
+    def attest(
+        self, nonce: bytes, params: DHParams = DEFAULT_DH_PARAMS
+    ) -> FunctionAttestationSession:
+        return self._snic.nf_attest(self.nf_id, nonce, params)

@@ -1,0 +1,68 @@
+"""Cost modelling: area/power (mini-McPAT), page packing, profiles, TCO.
+
+* :mod:`repro.cost.mcpat` — a parametric fully-associative-CAM TLB
+  area/power model at 28 nm, calibrated against the McPAT outputs the
+  paper publishes (Tables 2–4); reproduces the headline +8.89% area /
+  +11.45% power aggregation.
+* :mod:`repro.cost.pages` — the variable-page-size packing allocator
+  behind Tables 5–7 (Equal / Flex-low / Flex-high menus).
+* :mod:`repro.cost.profiles` — NF and accelerator memory profiles
+  (Tables 6–8) plus the Monitor memory time-series model (Figure 7).
+* :mod:`repro.cost.tco` — the three-year per-core TCO analysis (§5.2).
+"""
+
+from repro.cost.mcpat import (
+    A9_BASELINE,
+    CamCalibration,
+    CORE_TLB_CAL,
+    IO_TLB_CAL,
+    TLBCostModel,
+    snic_headline_overheads,
+)
+from repro.cost.pages import (
+    EQUAL_MENU,
+    FLEX_HIGH_MENU,
+    FLEX_LOW_MENU,
+    KB,
+    MB,
+    PageMenu,
+    pack_region,
+    pack_sizes,
+)
+from repro.cost.profiles import (
+    ACCEL_PROFILES,
+    AcceleratorProfile,
+    DMA_REGIONS,
+    MonitorMemoryModel,
+    NF_PROFILES,
+    NFMemoryProfile,
+    VPP_REGIONS,
+)
+from repro.cost.tco import DeviceCost, TCOAnalysis, paper_tco_analysis
+
+__all__ = [
+    "A9_BASELINE",
+    "ACCEL_PROFILES",
+    "AcceleratorProfile",
+    "CORE_TLB_CAL",
+    "CamCalibration",
+    "DMA_REGIONS",
+    "DeviceCost",
+    "EQUAL_MENU",
+    "FLEX_HIGH_MENU",
+    "FLEX_LOW_MENU",
+    "IO_TLB_CAL",
+    "KB",
+    "MB",
+    "MonitorMemoryModel",
+    "NF_PROFILES",
+    "NFMemoryProfile",
+    "PageMenu",
+    "TCOAnalysis",
+    "TLBCostModel",
+    "VPP_REGIONS",
+    "pack_region",
+    "pack_sizes",
+    "paper_tco_analysis",
+    "snic_headline_overheads",
+]

@@ -1,0 +1,130 @@
+"""Variable-page-size packing: the allocator behind Tables 5–7.
+
+S-NIC covers a function's address space with a handful of locked TLB
+entries using variable page sizes (§4.2).  The paper studies three page
+menus:
+
+* **Equal** — 2 MB pages only;
+* **Flex-low** — 128 KB, 2 MB, 64 MB;
+* **Flex-high** — 2 MB, 32 MB, 128 MB.
+
+"When allocating pages for a function's code, static data, heap, and
+stack regions, we try to minimize the amount of wasted memory"
+(Table 6 caption).  Because each menu's sizes divide one another, the
+optimal strategy is exact: round the region up to the smallest page
+granularity (that fixes the minimal waste), then emit pages greedily
+largest-first (that minimises the entry count for the fixed total).
+The test suite checks both optimality properties against brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class PageMenu:
+    """An ordered set of allowed page sizes (ascending)."""
+
+    name: str
+    sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("menu needs at least one page size")
+        if list(self.sizes) != sorted(set(self.sizes)):
+            raise ValueError("sizes must be strictly ascending")
+        for small, big in zip(self.sizes, self.sizes[1:]):
+            if big % small:
+                raise ValueError(
+                    "each page size must be a multiple of the previous "
+                    "(greedy packing relies on this)"
+                )
+
+    @property
+    def smallest(self) -> int:
+        return self.sizes[0]
+
+
+EQUAL_MENU = PageMenu("Equal", (2 * MB,))
+FLEX_LOW_MENU = PageMenu("Flex-low", (128 * KB, 2 * MB, 64 * MB))
+FLEX_HIGH_MENU = PageMenu("Flex-high", (2 * MB, 32 * MB, 128 * MB))
+
+PAPER_MENUS = (EQUAL_MENU, FLEX_LOW_MENU, FLEX_HIGH_MENU)
+
+
+def pack_region(size_bytes: int, menu: PageMenu) -> List[int]:
+    """Pages covering a ``size_bytes`` region: minimal waste, then fewest
+    entries.  Returns the chosen page sizes, largest first.
+    """
+    if size_bytes < 0:
+        raise ValueError("negative region size")
+    if size_bytes == 0:
+        return []
+    smallest = menu.smallest
+    rounded = ((size_bytes + smallest - 1) // smallest) * smallest
+    pages: List[int] = []
+    remaining = rounded
+    for size in reversed(menu.sizes):
+        count, remaining = divmod(remaining, size)
+        pages.extend([size] * count)
+    assert remaining == 0  # sizes divide each other, so this is exact
+    return pages
+
+
+def pack_sizes(region_sizes: Iterable[int], menu: PageMenu) -> List[int]:
+    """Pack several regions independently; returns all pages used.
+
+    Regions are packed separately because they are placed at different
+    (aligned) virtual bases — a page cannot span two regions.
+    """
+    pages: List[int] = []
+    for size in region_sizes:
+        pages.extend(pack_region(size, menu))
+    return pages
+
+
+def entries_for(region_sizes: Iterable[int], menu: PageMenu) -> int:
+    """The TLB entry count for a set of regions under ``menu``."""
+    return len(pack_sizes(region_sizes, menu))
+
+
+def waste_bytes(region_sizes: Iterable[int], menu: PageMenu) -> int:
+    """Internal fragmentation: allocated minus requested."""
+    total_requested = 0
+    total_allocated = 0
+    for size in region_sizes:
+        total_requested += size
+        total_allocated += sum(pack_region(size, menu))
+    return total_allocated - total_requested
+
+
+def layout_regions(
+    region_sizes: Sequence[int], menu: PageMenu, base: int = 0
+) -> List[Tuple[int, int]]:
+    """Place pages for all regions at aligned addresses from ``base``.
+
+    Returns ``(address, page_size)`` pairs.  Each page is aligned to its
+    own size (a hardware TLB requirement); ``base`` must be aligned to
+    the largest page used.  Packing emits larger pages first, and sizes
+    divide one another, so advancing the cursor never breaks alignment
+    within a region; between regions the cursor is re-aligned upward.
+    """
+    placements: List[Tuple[int, int]] = []
+    cursor = base
+    for size in region_sizes:
+        pages = pack_region(size, menu)
+        if not pages:
+            continue
+        largest = pages[0]
+        cursor = ((cursor + largest - 1) // largest) * largest
+        for page in pages:
+            if cursor % page:
+                cursor = ((cursor + page - 1) // page) * page
+            placements.append((cursor, page))
+            cursor += page
+    return placements

@@ -1,0 +1,126 @@
+"""Appendix-B-style profiling of *this reproduction's own* NFs.
+
+Table 6 profiles the paper's Rust/DPDK binaries; those numbers are
+calibrated inputs in :mod:`repro.cost.profiles`.  This module applies
+the same methodology to the Python NF implementations in
+:mod:`repro.nf`: drive each NF with a trace, record its modelled state
+footprint (``state_bytes``), and size its locked-TLB budget with the
+same page-packing allocator.
+
+Absolute sizes differ from the paper (different substrate, scaled
+traces); what carries over — and is asserted in the tests — is the
+*structure*: Monitor grows without bound with distinct flows, NAT caps
+at its port pool, LB/LPM are small and flat, and the TLB budgets order
+the same way as Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cost.pages import EQUAL_MENU, PageMenu, entries_for
+from repro.net.packet import Packet
+from repro.net.rules import Prefix
+from repro.net.traces import make_ictf_like_trace
+from repro.nf import (
+    Backend,
+    DIR24_8,
+    DPIEngine,
+    Firewall,
+    MaglevLoadBalancer,
+    Monitor,
+    NAT,
+    make_emerging_threats_rules,
+    make_random_routes,
+    make_snort_like_patterns,
+)
+from repro.nf.base import NetworkFunction
+
+#: A fixed per-NF image overhead (text+data+code) so the packing has a
+#: second region, mirroring Table 6's layout.
+IMAGE_BYTES = 3 * 1024 * 1024
+
+
+@dataclass
+class PyNFProfile:
+    """One NF's measured profile."""
+
+    name: str
+    packets: int
+    peak_state_bytes: int
+    final_state_bytes: int
+    samples: List[Tuple[int, int]]  # (packets seen, state bytes)
+
+    def tlb_entries(self, menu: PageMenu = EQUAL_MENU) -> int:
+        return entries_for([IMAGE_BYTES, max(1, self.peak_state_bytes)], menu)
+
+    @property
+    def growth_ratio(self) -> float:
+        """final/first-sample state — >1 means the NF keeps growing."""
+        first = next((s for _, s in self.samples if s > 0), 1)
+        return self.final_state_bytes / first
+
+
+def build_default_nfs() -> Dict[str, NetworkFunction]:
+    """The six NFs with scaled-down §5.1 parameters."""
+    lpm = DIR24_8(max_tbl8_groups=1024)
+    for prefix, hop in make_random_routes(1_000):
+        lpm.add_route(prefix, hop)
+    lpm.add_route(Prefix.parse("0.0.0.0/0"), 1)
+    return {
+        "FW": Firewall(make_emerging_threats_rules(643)),
+        "DPI": DPIEngine(make_snort_like_patterns(300)),
+        "NAT": NAT("100.0.0.1"),
+        "LB": MaglevLoadBalancer(
+            [Backend(f"b{i}", f"1.0.0.{i + 1}") for i in range(4)],
+            table_size=65537,
+        ),
+        "LPM": lpm,
+        "Mon": Monitor(),
+    }
+
+
+def profile_nf(
+    name: str,
+    nf: NetworkFunction,
+    packets: Iterable[Packet],
+    sample_every: int = 200,
+) -> PyNFProfile:
+    """Run ``nf`` over ``packets`` recording its state growth."""
+    peak = nf.state_bytes()
+    samples: List[Tuple[int, int]] = [(0, peak)]
+    count = 0
+    for packet in packets:
+        nf.process(packet)
+        count += 1
+        if count % sample_every == 0:
+            state = nf.state_bytes()
+            peak = max(peak, state)
+            samples.append((count, state))
+    final = nf.state_bytes()
+    peak = max(peak, final)
+    samples.append((count, final))
+    return PyNFProfile(
+        name=name,
+        packets=count,
+        peak_state_bytes=peak,
+        final_state_bytes=final,
+        samples=samples,
+    )
+
+
+def profile_all(
+    n_packets: int = 3_000,
+    payload_size: int = 64,
+    seed: int = 2010,
+    nfs: Optional[Dict[str, NetworkFunction]] = None,
+) -> Dict[str, PyNFProfile]:
+    """Profile every NF over the same synthetic ICTF-like stream."""
+    nfs = nfs or build_default_nfs()
+    profiles = {}
+    for name, nf in nfs.items():
+        trace = make_ictf_like_trace(scale=0.01, seed=seed)
+        stream = trace.packets(n_packets, payload_size=payload_size)
+        profiles[name] = profile_nf(name, nf, stream)
+    return profiles

@@ -1,0 +1,109 @@
+"""The total-cost-of-ownership analysis of §5.2.
+
+Reproduces the paper's arithmetic exactly:
+
+* 12-core Marvell LiquidIO: 24.7 W peak, $420 → $38.97/core over 3 years;
+* 12-core Intel E5-2680 v3 host: 113 W, $1745 → $163.56/core;
+* S-NIC-extended LiquidIO (+8.89 % area → purchase cost, +11.45 % power)
+  → $42.53/core;
+* the *TCO advantage* is the host/NIC per-core ratio, which drops from
+  4.20× to 3.85× — an 8.37 % reduction, i.e. 91.6 % of the benefit is
+  preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Average U.S. datacenter electricity price used by the paper.
+US_DATACENTER_USD_PER_KWH = 0.0733
+
+#: Hours per year (365.25 days) — matches the paper's arithmetic.
+HOURS_PER_YEAR = 8766.0
+
+
+@dataclass(frozen=True)
+class DeviceCost:
+    """Purchase price + power envelope of one device."""
+
+    name: str
+    power_w: float
+    price_usd: float
+    cores: int
+
+    def energy_cost_usd(
+        self,
+        years: float = 3.0,
+        usd_per_kwh: float = US_DATACENTER_USD_PER_KWH,
+    ) -> float:
+        kwh = self.power_w * years * HOURS_PER_YEAR / 1000.0
+        return kwh * usd_per_kwh
+
+    def tco_per_core(
+        self,
+        years: float = 3.0,
+        usd_per_kwh: float = US_DATACENTER_USD_PER_KWH,
+    ) -> float:
+        total = self.price_usd + self.energy_cost_usd(years, usd_per_kwh)
+        return total / self.cores
+
+    def with_snic_overheads(
+        self, area_overhead_pct: float, power_overhead_pct: float
+    ) -> "DeviceCost":
+        """The S-NIC-extended variant: chip area scales purchase cost,
+        and power draw scales energy cost (the paper's worst case)."""
+        return DeviceCost(
+            name=f"{self.name}+S-NIC",
+            power_w=self.power_w * (1.0 + power_overhead_pct / 100.0),
+            price_usd=self.price_usd * (1.0 + area_overhead_pct / 100.0),
+            cores=self.cores,
+        )
+
+
+LIQUIDIO_12CORE = DeviceCost("LiquidIO", power_w=24.7, price_usd=420.0, cores=12)
+XEON_E5_2680V3 = DeviceCost("E5-2680v3", power_w=113.0, price_usd=1745.0, cores=12)
+
+
+@dataclass(frozen=True)
+class TCOAnalysis:
+    """The full §5.2 comparison."""
+
+    nic: DeviceCost
+    host: DeviceCost
+    area_overhead_pct: float
+    power_overhead_pct: float
+    years: float = 3.0
+    usd_per_kwh: float = US_DATACENTER_USD_PER_KWH
+
+    def results(self) -> Dict[str, float]:
+        nic_tco = self.nic.tco_per_core(self.years, self.usd_per_kwh)
+        host_tco = self.host.tco_per_core(self.years, self.usd_per_kwh)
+        snic = self.nic.with_snic_overheads(
+            self.area_overhead_pct, self.power_overhead_pct
+        )
+        snic_tco = snic.tco_per_core(self.years, self.usd_per_kwh)
+        advantage_before = host_tco / nic_tco
+        advantage_after = host_tco / snic_tco
+        reduction = (advantage_before - advantage_after) / advantage_before
+        return {
+            "nic_tco_per_core": nic_tco,
+            "host_tco_per_core": host_tco,
+            "snic_tco_per_core": snic_tco,
+            "advantage_before": advantage_before,
+            "advantage_after": advantage_after,
+            "advantage_reduction_pct": 100.0 * reduction,
+            "benefit_preserved_pct": 100.0 * (1.0 - reduction),
+        }
+
+
+def paper_tco_analysis(
+    area_overhead_pct: float = 8.89, power_overhead_pct: float = 11.45
+) -> TCOAnalysis:
+    """The analysis with the paper's devices and headline overheads."""
+    return TCOAnalysis(
+        nic=LIQUIDIO_12CORE,
+        host=XEON_E5_2680V3,
+        area_overhead_pct=area_overhead_pct,
+        power_overhead_pct=power_overhead_pct,
+    )

@@ -1,0 +1,194 @@
+"""The §4.8 underutilization study: what strict isolation strands.
+
+"S-NIC provides a virtual NIC with strong isolation ... However, this
+strong isolation may lead to underutilization of physical resources.
+[A function] cannot return pages to the OS ... cannot temporarily
+relinquish one of the programmable cores ... The tension between strong
+isolation and underutilization is fundamental ... physical utilization
+should be kept high by creating or destroying functions in response to
+time-varying load."
+
+This module quantifies that tension with a fleet simulator: function
+requests arrive over time, hold (cores, memory) for a duration, and
+depart.  Two allocators are compared:
+
+* **snic** — the paper's model: whole cores, preallocated peak memory,
+  nothing returned mid-lifetime (allocation = the request's peak);
+* **ideal** — a hypothetical elastic allocator that tracks each
+  function's *instantaneous* demand (fractional cores, current memory).
+
+The gap between the two is the price of isolation; the MURs of Table 8
+(how much of the preallocation is actually used) drive the memory side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cost.profiles import NF_PROFILES
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FunctionRequest:
+    """One tenant function's lifetime on the NIC."""
+
+    nf_type: str
+    cores: int
+    memory_bytes: int
+    mur: float  # steady usage / preallocation (Table 8)
+    core_utilization: float  # busy fraction of its cores
+    arrival_s: float
+    duration_s: float
+
+    @property
+    def departure_s(self) -> float:
+        return self.arrival_s + self.duration_s
+
+
+def generate_workload(
+    n_requests: int = 200,
+    mean_interarrival_s: float = 30.0,
+    mean_duration_s: float = 600.0,
+    seed: int = 7,
+) -> List[FunctionRequest]:
+    """A fleet of function launches drawn from the six NF profiles."""
+    rng = random.Random(seed)
+    names = list(NF_PROFILES)
+    requests: List[FunctionRequest] = []
+    clock = 0.0
+    for _ in range(n_requests):
+        clock += rng.expovariate(1.0 / mean_interarrival_s)
+        profile = NF_PROFILES[rng.choice(names)]
+        requests.append(
+            FunctionRequest(
+                nf_type=profile.name,
+                cores=rng.choice([1, 1, 2, 4]),
+                memory_bytes=profile.total,
+                mur=profile.mur,
+                core_utilization=rng.uniform(0.3, 1.0),
+                arrival_s=clock,
+                duration_s=rng.expovariate(1.0 / mean_duration_s),
+            )
+        )
+    return requests
+
+
+@dataclass
+class UtilizationResult:
+    """Time-averaged utilization + admission outcome for one policy."""
+
+    policy: str
+    core_utilization: float       # used / allocated (or / capacity)
+    memory_utilization: float
+    allocated_core_fraction: float  # allocated / capacity
+    rejected: int
+    admitted: int
+
+    @property
+    def admission_rate(self) -> float:
+        total = self.admitted + self.rejected
+        return self.admitted / total if total else 1.0
+
+
+def _events(requests: Sequence[FunctionRequest]):
+    events: List[Tuple[float, int, FunctionRequest]] = []
+    for request in requests:
+        events.append((request.arrival_s, 1, request))
+        events.append((request.departure_s, -1, request))
+    events.sort(key=lambda e: (e[0], -e[1]))
+    return events
+
+
+def simulate_allocator(
+    requests: Sequence[FunctionRequest],
+    n_cores: int = 48,
+    memory_bytes: int = 8 * 1024 * MB,
+    policy: str = "snic",
+) -> UtilizationResult:
+    """Replay the workload under one allocation policy.
+
+    ``snic`` admits a function only when whole cores + its full
+    preallocation fit, and holds both until departure.  ``ideal`` admits
+    on instantaneous demand (cores × busy-fraction, memory × MUR).
+    """
+    if policy not in ("snic", "ideal"):
+        raise ValueError(f"unknown policy {policy!r}")
+    live: Dict[int, FunctionRequest] = {}
+    admitted_ids: set = set()
+    admitted = rejected = 0
+    area_alloc_cores = area_used_cores = 0.0
+    area_alloc_mem = area_used_mem = 0.0
+    last_time = 0.0
+
+    def demand(request: FunctionRequest) -> Tuple[float, float]:
+        if policy == "snic":
+            return float(request.cores), float(request.memory_bytes)
+        return (
+            request.cores * request.core_utilization,
+            request.memory_bytes * request.mur,
+        )
+
+    for time_s, kind, request in _events(requests):
+        dt = time_s - last_time
+        if dt > 0 and live:
+            alloc_cores = sum(demand(r)[0] for r in live.values())
+            used_cores = sum(
+                r.cores * r.core_utilization for r in live.values()
+            )
+            alloc_mem = sum(demand(r)[1] for r in live.values())
+            used_mem = sum(r.memory_bytes * r.mur for r in live.values())
+            area_alloc_cores += alloc_cores * dt
+            area_used_cores += used_cores * dt
+            area_alloc_mem += alloc_mem * dt
+            area_used_mem += used_mem * dt
+        last_time = time_s
+
+        key = id(request)
+        if kind == 1:
+            want_cores, want_mem = demand(request)
+            have_cores = sum(demand(r)[0] for r in live.values())
+            have_mem = sum(demand(r)[1] for r in live.values())
+            if (
+                have_cores + want_cores <= n_cores
+                and have_mem + want_mem <= memory_bytes
+            ):
+                live[key] = request
+                admitted_ids.add(key)
+                admitted += 1
+            else:
+                rejected += 1
+        else:
+            if key in admitted_ids:
+                live.pop(key, None)
+
+    return UtilizationResult(
+        policy=policy,
+        core_utilization=(
+            area_used_cores / area_alloc_cores if area_alloc_cores else 1.0
+        ),
+        memory_utilization=(
+            area_used_mem / area_alloc_mem if area_alloc_mem else 1.0
+        ),
+        allocated_core_fraction=(
+            area_alloc_cores / (n_cores * last_time) if last_time else 0.0
+        ),
+        rejected=rejected,
+        admitted=admitted,
+    )
+
+
+def isolation_price(
+    requests: Optional[Sequence[FunctionRequest]] = None,
+    n_cores: int = 48,
+    memory_bytes: int = 8 * 1024 * MB,
+) -> Dict[str, UtilizationResult]:
+    """Both policies over the same workload (the §4.8 comparison)."""
+    requests = requests if requests is not None else generate_workload()
+    return {
+        policy: simulate_allocator(requests, n_cores, memory_bytes, policy)
+        for policy in ("snic", "ideal")
+    }

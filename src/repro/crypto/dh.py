@@ -1,0 +1,99 @@
+"""Classic finite-field Diffie–Hellman key exchange.
+
+S-NIC's attestation protocol (Appendix A) is "based on the classic
+Diffie-Hellman exchange": the function contributes ``g^x mod p`` signed by
+its attestation key, the verifier replies with ``g^y mod p``, and both
+derive the shared secret ``g^(xy) mod p``.
+
+The default group is the 1536-bit MODP group from RFC 3526 — a real,
+published safe-prime group — but tests may construct smaller groups for
+speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.sha256 import sha256
+
+# RFC 3526, group 5 (1536-bit MODP).  Generator is 2.
+_RFC3526_1536_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+
+
+@dataclass(frozen=True)
+class DHParams:
+    """Public Diffie–Hellman group parameters (g, p)."""
+
+    g: int
+    p: int
+
+    def private(self, rng: random.Random = None) -> "DHPrivate":
+        """Generate a fresh private exponent in [2, p-2]."""
+        rng = rng or random.SystemRandom()
+        x = rng.randrange(2, self.p - 1)
+        return DHPrivate(params=self, exponent=x)
+
+
+DEFAULT_DH_PARAMS = DHParams(g=2, p=_RFC3526_1536_P)
+
+
+@dataclass(frozen=True)
+class DHPublic:
+    """A public share ``g^x mod p``."""
+
+    params: DHParams
+    value: int
+
+
+@dataclass(frozen=True)
+class DHPrivate:
+    """A private exponent with helpers to derive shares and secrets."""
+
+    params: DHParams
+    exponent: int
+
+    def public(self) -> DHPublic:
+        share = pow(self.params.g, self.exponent, self.params.p)
+        return DHPublic(params=self.params, value=share)
+
+    def shared_secret(self, peer: DHPublic) -> int:
+        """The raw shared secret ``peer^x mod p``."""
+        if peer.params != self.params:
+            raise ValueError("Diffie-Hellman parameter mismatch")
+        if not 1 < peer.value < self.params.p - 1:
+            raise ValueError("degenerate peer public value")
+        return pow(peer.value, self.exponent, self.params.p)
+
+    def session_key(self, peer: DHPublic) -> bytes:
+        """A 32-byte symmetric key: SHA-256 of the shared secret."""
+        secret = self.shared_secret(peer)
+        width = (self.params.p.bit_length() + 7) // 8
+        return sha256(secret.to_bytes(width, "big"))
+
+
+def xor_stream_encrypt(key: bytes, plaintext: bytes, nonce: int = 0) -> bytes:
+    """A toy stream cipher keyed by SHA-256 in counter mode.
+
+    Constellation channels (§4.7) need *some* symmetric encryption over
+    the established session key; the exact cipher is immaterial to the
+    paper, so we use SHA-256-CTR keystream XOR.  Encryption and decryption
+    are the same operation.
+    """
+    out = bytearray(len(plaintext))
+    block = b""
+    counter = 0
+    for i, byte in enumerate(plaintext):
+        if not i % 32:
+            block = sha256(key + nonce.to_bytes(8, "big") + counter.to_bytes(8, "big"))
+            counter += 1
+        out[i] = byte ^ block[i % 32]
+    return bytes(out)

@@ -1,0 +1,141 @@
+"""The S-NIC key hierarchy: vendor CA, endorsement keys, attestation keys.
+
+Appendix A: at manufacturing time an S-NIC receives an endorsement key
+pair (EK) burned into hardware together with a vendor-signed certificate
+for the public half.  After each reboot the NIC generates a fresh
+attestation key pair (AK), keeps the private half in a private register,
+and signs the public half with the EK.  Attestation evidence chains
+AK → EK → vendor CA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.rsa import (
+    RSAKeyPair,
+    RSAPublicKey,
+    rsa_generate,
+    rsa_sign,
+    rsa_verify,
+)
+from repro.crypto.sha256 import sha256
+
+
+def _encode_public(public: RSAPublicKey) -> bytes:
+    """A canonical byte encoding of an RSA public key for signing."""
+    width = public.byte_length
+    return public.n.to_bytes(width, "big") + public.e.to_bytes(8, "big")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A vendor-signed statement binding ``subject`` to ``subject_key``."""
+
+    subject: str
+    subject_key: RSAPublicKey
+    issuer: str
+    signature: bytes
+
+    def verify(self, issuer_key: RSAPublicKey) -> bool:
+        message = self.subject.encode() + _encode_public(self.subject_key)
+        return rsa_verify(issuer_key, message, self.signature)
+
+
+@dataclass
+class VendorCA:
+    """The NIC vendor's certificate authority.
+
+    Provisions endorsement keys at "manufacturing time" and signs their
+    certificates; verifiers trust only this root.
+    """
+
+    name: str = "snic-vendor"
+    key_bits: int = 1024
+    seed: Optional[int] = None
+    _keypair: RSAKeyPair = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._keypair = rsa_generate(self.key_bits, seed=self.seed)
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._keypair.public
+
+    def issue_certificate(self, subject: str, key: RSAPublicKey) -> Certificate:
+        message = subject.encode() + _encode_public(key)
+        signature = rsa_sign(self._keypair.private, message)
+        return Certificate(
+            subject=subject, subject_key=key, issuer=self.name, signature=signature
+        )
+
+    def provision_endorsement_key(
+        self, device_id: str, seed: Optional[int] = None
+    ) -> "EndorsementKey":
+        """Burn an EK into a new device and certify its public half."""
+        keypair = rsa_generate(self.key_bits, seed=seed)
+        certificate = self.issue_certificate(device_id, keypair.public)
+        return EndorsementKey(
+            device_id=device_id, keypair=keypair, certificate=certificate
+        )
+
+
+@dataclass
+class EndorsementKey:
+    """The EK: burned in at manufacturing, never leaves the NIC."""
+
+    device_id: str
+    keypair: RSAKeyPair
+    certificate: Certificate
+
+    @property
+    def public(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    def sign(self, message: bytes) -> bytes:
+        return rsa_sign(self.keypair.private, message)
+
+    def endorse_attestation_key(self, ak_public: RSAPublicKey) -> bytes:
+        """EK-signature over the AK public half (produced at boot)."""
+        return self.sign(b"snic-ak:" + _encode_public(ak_public))
+
+
+@dataclass
+class AttestationKey:
+    """The AK: regenerated each boot, endorsed by the EK."""
+
+    keypair: RSAKeyPair
+    ek_signature: bytes
+
+    @classmethod
+    def generate(
+        cls, ek: EndorsementKey, key_bits: int = 1024, seed: Optional[int] = None
+    ) -> "AttestationKey":
+        keypair = rsa_generate(key_bits, seed=seed)
+        return cls(
+            keypair=keypair, ek_signature=ek.endorse_attestation_key(keypair.public)
+        )
+
+    @property
+    def public(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    def sign(self, message: bytes) -> bytes:
+        return rsa_sign(self.keypair.private, message)
+
+    def verify_endorsement(self, ek_public: RSAPublicKey) -> bool:
+        message = b"snic-ak:" + _encode_public(self.public)
+        return rsa_verify(ek_public, message, self.ek_signature)
+
+
+def quote_digest(*parts: bytes) -> bytes:
+    """SHA-256 over length-prefixed parts — the canonical quote encoding.
+
+    Length prefixes prevent ambiguity between, e.g., (b"ab", b"c") and
+    (b"a", b"bc") when hashing attestation evidence.
+    """
+    hasher_input = b""
+    for part in parts:
+        hasher_input += len(part).to_bytes(8, "big") + part
+    return sha256(hasher_input)

@@ -1,0 +1,268 @@
+"""Set-associative cache simulator with way partitioning.
+
+Figure 5 of the paper measures the IPC cost of S-NIC's cache isolation:
+"static partitioning allocated 1/N of the cache to each of the N
+functions".  This module provides the underlying cache model:
+
+* ``shared`` mode — ordinary LRU across all ways; co-tenants evict each
+  other's lines (the commodity baseline, and the source of cache side
+  channels).
+* ``hard`` mode — each owner gets a disjoint set of ways per set; hits
+  and fills are confined to the owner's ways, eliminating both eviction
+  interference and occupancy side channels (§4.2).
+* ``soft`` mode — Intel-CAT-style: fills are confined to the owner's
+  ways, but hits may be satisfied from *any* way.  The paper rejects this
+  ("soft partitioning schemes like Intel CAT provide insufficient
+  isolation") because hit/miss timing still leaks other tenants'
+  contents; the ablation benchmark demonstrates exactly that.
+
+Lines carry an owner tag so teardown can scrub a departing function's
+lines (§4.6) and tests can assert occupancy invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.memory import AccessFault
+
+SHARED = "shared"
+HARD = "hard"
+SOFT = "soft"
+_MODES = (SHARED, HARD, SOFT)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache size must divide into sets evenly")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class _Line:
+    tag: int
+    owner: int
+    stamp: int
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative, LRU, write-allocate cache."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.mode = SHARED
+        self._partitions: Dict[int, int] = {}  # owner -> way count
+        self._way_ranges: Dict[int, Tuple[int, int]] = {}  # owner -> [lo, hi)
+        # sets[s] is a list of lines currently resident (<= ways).
+        self._sets: List[List[_Line]] = [[] for _ in range(config.n_sets)]
+        self._clock = 0
+        self.stats: Dict[int, CacheStats] = {}
+
+    # ------------------------------------------------------------------
+    # Partition management (configured by nf_launch)
+    # ------------------------------------------------------------------
+
+    def set_partitions(self, allocation: Dict[int, int], mode: str = HARD) -> None:
+        """Assign ``ways`` per owner and switch to a partitioned mode.
+
+        Way ranges are disjoint and contiguous; the sum must not exceed
+        associativity.  Existing contents are flushed (repartitioning a
+        live cache would itself be a side channel).
+        """
+        if mode not in (HARD, SOFT):
+            raise ValueError(f"partition mode must be hard or soft, not {mode!r}")
+        total = sum(allocation.values())
+        if total > self.config.ways:
+            raise AccessFault(
+                f"{self.name}: partition wants {total} ways, "
+                f"cache has {self.config.ways}"
+            )
+        if any(w <= 0 for w in allocation.values()):
+            raise ValueError("every partition needs at least one way")
+        self.mode = mode
+        self._partitions = dict(allocation)
+        self._way_ranges = {}
+        cursor = 0
+        for owner, ways in allocation.items():
+            self._way_ranges[owner] = (cursor, cursor + ways)
+            cursor += ways
+        self.flush_all()
+
+    def share(self) -> None:
+        """Return to fully shared LRU mode (the commodity baseline)."""
+        self.mode = SHARED
+        self._partitions = {}
+        self._way_ranges = {}
+        self.flush_all()
+
+    def ways_for(self, owner: int) -> int:
+        if self.mode == SHARED:
+            return self.config.ways
+        if owner not in self._partitions:
+            raise AccessFault(f"{self.name}: owner {owner} has no cache partition")
+        return self._partitions[owner]
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, owner: int, write: bool = False) -> bool:
+        """Simulate one access; returns True on hit.
+
+        ``write`` currently only influences allocation policy bookkeeping
+        (the model is write-allocate, so hits/misses are symmetric).
+        """
+        self._clock += 1
+        line_addr = addr // self.config.line_bytes
+        set_index = line_addr % self.config.n_sets
+        tag = line_addr // self.config.n_sets
+        lines = self._sets[set_index]
+        stats = self.stats.setdefault(owner, CacheStats())
+
+        hit_line = self._find_hit(lines, tag, owner)
+        if hit_line is not None:
+            hit_line.stamp = self._clock
+            stats.hits += 1
+            return True
+
+        stats.misses += 1
+        self._fill(lines, tag, owner)
+        return False
+
+    def _find_hit(self, lines: List[_Line], tag: int, owner: int) -> Optional[_Line]:
+        for line in lines:
+            if line.tag != tag:
+                continue
+            if self.mode == HARD and line.owner != owner:
+                # Hard partitioning: a tenant can never observe another
+                # tenant's line, even for the same physical address.
+                continue
+            # SHARED and SOFT modes satisfy hits from any way — the
+            # precise leak the paper calls out for CAT-style schemes.
+            return line
+        return None
+
+    def _fill(self, lines: List[_Line], tag: int, owner: int) -> None:
+        capacity = self.ways_for(owner) if self.mode != SHARED else self.config.ways
+        if self.mode == SHARED:
+            if len(lines) >= capacity:
+                victim = min(lines, key=lambda l: l.stamp)
+                lines.remove(victim)
+            lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
+            return
+        # Partitioned fill: victimize only within the owner's ways.
+        own = [l for l in lines if l.owner == owner]
+        if len(own) >= capacity:
+            victim = min(own, key=lambda l: l.stamp)
+            lines.remove(victim)
+        lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
+
+    # ------------------------------------------------------------------
+    # Introspection & scrubbing
+    # ------------------------------------------------------------------
+
+    def occupancy(self, owner: int) -> int:
+        """Number of resident lines owned by ``owner``."""
+        return sum(1 for lines in self._sets for l in lines if l.owner == owner)
+
+    def resident(self, addr: int, owner: Optional[int] = None) -> bool:
+        """True when the line holding ``addr`` is resident (for any owner
+        unless one is given).  This is the attacker's probe primitive."""
+        line_addr = addr // self.config.line_bytes
+        set_index = line_addr % self.config.n_sets
+        tag = line_addr // self.config.n_sets
+        for line in self._sets[set_index]:
+            if line.tag == tag and (owner is None or line.owner == owner):
+                return True
+        return False
+
+    def flush_owner(self, owner: int) -> int:
+        """Evict (scrub) every line belonging to ``owner`` (teardown)."""
+        evicted = 0
+        for lines in self._sets:
+            keep = [l for l in lines if l.owner != owner]
+            evicted += len(lines) - len(keep)
+            lines[:] = keep
+        return evicted
+
+    def flush_all(self) -> None:
+        for lines in self._sets:
+            lines.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = {}
+
+
+class CacheHierarchy:
+    """Private L1s in front of a shared L2, as in the gem5 setup (§5.3).
+
+    Each owner (network function) has its own L1 — matching "each core has
+    a private L1" on every NIC in §3.2 — and all owners share the L2,
+    which is the level that S-NIC partitions.
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        owners: List[int],
+    ) -> None:
+        self.l1: Dict[int, Cache] = {
+            owner: Cache(l1_config, name=f"l1[{owner}]") for owner in owners
+        }
+        self.l2 = Cache(l2_config, name="l2")
+        self.owners = list(owners)
+
+    def partition_l2(self, mode: str = HARD) -> None:
+        """Give each owner an equal share of L2 ways (the §5.3 policy)."""
+        ways = self.l2.config.ways
+        share = max(1, ways // len(self.owners))
+        allocation = {owner: share for owner in self.owners}
+        # Trim if equal shares overflow associativity (e.g. 16 NFs, 8 ways
+        # is rejected by set_partitions; callers pick geometry to fit).
+        self.l2.set_partitions(allocation, mode=mode)
+
+    def share_l2(self) -> None:
+        self.l2.share()
+
+    def access(self, addr: int, owner: int, write: bool = False) -> int:
+        """Access through the hierarchy; returns the satisfying level.
+
+        1 = L1 hit, 2 = L2 hit, 3 = DRAM.
+        """
+        if owner not in self.l1:
+            raise AccessFault(f"no L1 for owner {owner}")
+        if self.l1[owner].access(addr, owner, write=write):
+            return 1
+        if self.l2.access(addr, owner, write=write):
+            return 2
+        return 3

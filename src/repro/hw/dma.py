@@ -1,0 +1,135 @@
+"""The NIC/host DMA controller.
+
+Section 4.2: "S-NIC's DMA controller must provide isolation for both
+transfer directions ... S-NIC achieves these properties using a
+multi-bank DMA controller, with one bank per programmable core.  Each
+bank has TLB entries for the upstream and downstream transfer
+directions."  (This mirrors SR-IOV DMA engines.)
+
+A :class:`DMAWindow` is the sanctioned region on each side; transfers are
+rejected unless both endpoints fall inside the bank's windows.  The
+commodity models bypass this class entirely (their DMA engines take raw
+physical addresses), which is part of why the §3.3 attacks work there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.memory import AccessFault, HostMemory, PhysicalMemory
+
+
+@dataclass(frozen=True)
+class DMAWindow:
+    """An allowed address window ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def contains(self, addr: int, n_bytes: int) -> bool:
+        return self.base <= addr and addr + n_bytes <= self.base + self.size
+
+
+class DMABank:
+    """One per-core DMA bank with upstream/downstream windows.
+
+    * downstream: host RAM → NIC RAM (function bootstrap, workload data)
+    * upstream:   NIC RAM → host RAM (results)
+
+    Windows are installed by ``nf_launch`` and locked; per the paper each
+    bank needs only ~2 TLB entries (Table 4) because each side is one
+    contiguous region.
+    """
+
+    def __init__(self, bank_id: int) -> None:
+        self.bank_id = bank_id
+        self.owner: Optional[int] = None
+        self.nic_window: Optional[DMAWindow] = None
+        self.host_window: Optional[DMAWindow] = None
+        self._locked = False
+        self.bytes_moved = 0
+
+    def configure(
+        self, owner: int, nic_window: DMAWindow, host_window: DMAWindow
+    ) -> None:
+        if self._locked:
+            raise AccessFault(f"DMA bank {self.bank_id} is locked")
+        self.owner = owner
+        self.nic_window = nic_window
+        self.host_window = host_window
+
+    def lock(self) -> None:
+        self._locked = True
+
+    def release(self) -> None:
+        self.owner = None
+        self.nic_window = None
+        self.host_window = None
+        self._locked = False
+        self.bytes_moved = 0
+
+    def _check(self, nic_addr: int, host_addr: int, n_bytes: int) -> None:
+        if self.nic_window is None or self.host_window is None:
+            raise AccessFault(f"DMA bank {self.bank_id} not configured")
+        if not self.nic_window.contains(nic_addr, n_bytes):
+            raise AccessFault(
+                f"DMA bank {self.bank_id}: NIC address {nic_addr:#x} "
+                f"(+{n_bytes}) outside the function's window"
+            )
+        if not self.host_window.contains(host_addr, n_bytes):
+            raise AccessFault(
+                f"DMA bank {self.bank_id}: host address {host_addr:#x} "
+                f"(+{n_bytes}) outside the host-sanctioned window"
+            )
+
+    def to_nic(
+        self,
+        host_mem: HostMemory,
+        nic_mem: PhysicalMemory,
+        host_addr: int,
+        nic_addr: int,
+        n_bytes: int,
+    ) -> None:
+        """Downstream transfer: host → NIC, both windows enforced."""
+        self._check(nic_addr, host_addr, n_bytes)
+        nic_mem.write(nic_addr, host_mem.read(host_addr, n_bytes))
+        self.bytes_moved += n_bytes
+
+    def to_host(
+        self,
+        nic_mem: PhysicalMemory,
+        host_mem: HostMemory,
+        nic_addr: int,
+        host_addr: int,
+        n_bytes: int,
+    ) -> None:
+        """Upstream transfer: NIC → host, both windows enforced."""
+        self._check(nic_addr, host_addr, n_bytes)
+        host_mem.write(host_addr, nic_mem.read(nic_addr, n_bytes))
+        self.bytes_moved += n_bytes
+
+
+class DMAController:
+    """The multi-bank controller: one bank per programmable core."""
+
+    def __init__(self, n_banks: int) -> None:
+        if n_banks <= 0:
+            raise ValueError("need at least one DMA bank")
+        self.banks: List[DMABank] = [DMABank(i) for i in range(n_banks)]
+
+    def bank_for_core(self, core_id: int) -> DMABank:
+        if not 0 <= core_id < len(self.banks):
+            raise AccessFault(f"no DMA bank for core {core_id}")
+        return self.banks[core_id]
+
+    def banks_for_owner(self, owner: int) -> List[DMABank]:
+        return [b for b in self.banks if b.owner == owner]
+
+    def release_owner(self, owner: int) -> int:
+        """Release every bank bound to ``owner`` (teardown); returns count."""
+        released = 0
+        for bank in self.banks_for_owner(owner):
+            bank.release()
+            released += 1
+        return released

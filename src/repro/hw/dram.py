@@ -1,0 +1,33 @@
+"""DRAM timing model.
+
+The gem5 configuration in §5.3 uses "16 GB of 1,600 MHz DDR3 RAM"; we
+model DRAM as a fixed access latency plus a bandwidth-limited transfer
+time.  The IO bus (:mod:`repro.hw.bus`) sits in front of this model and is
+where arbitration (and the arbitration side channel) happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Latency/bandwidth envelope of the NIC's DRAM.
+
+    Defaults approximate single-channel DDR3-1600: ~50 ns closed-page
+    access latency and 12.8 GB/s peak bandwidth.
+    """
+
+    access_latency_ns: float = 50.0
+    bandwidth_bytes_per_ns: float = 12.8  # 12.8 GB/s
+
+    def transfer_ns(self, n_bytes: int) -> float:
+        """Time to move ``n_bytes`` once granted the channel."""
+        if n_bytes < 0:
+            raise ValueError("negative transfer size")
+        return self.access_latency_ns + n_bytes / self.bandwidth_bytes_per_ns
+
+    def line_fill_ns(self, line_bytes: int = 64) -> float:
+        """Latency of one cache-line fill."""
+        return self.transfer_ns(line_bytes)

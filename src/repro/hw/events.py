@@ -1,0 +1,112 @@
+"""A small discrete-event simulation kernel.
+
+All timing in the reproduction runs on simulated nanoseconds managed by
+:class:`Simulator`: bus epochs, accelerator service times, packet
+arrivals, and the instruction-latency oracle all schedule events here.
+
+The kernel is intentionally minimal — a monotonic clock plus a stable
+priority queue of callbacks — because the heavy lifting (cache behaviour,
+arbitration) lives in the component models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class _Event:
+    time_ns: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time_ns(self) -> int:
+        return self._event.time_ns
+
+
+class Simulator:
+    """Discrete-event simulator with a nanosecond clock.
+
+    Events scheduled for the same instant fire in scheduling order
+    (stable), which keeps component interactions deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._sequence = itertools.count()
+        self._now_ns = 0
+        self._running = False
+
+    @property
+    def now_ns(self) -> int:
+        return self._now_ns
+
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay_ns`` nanoseconds from now."""
+        if delay_ns < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = _Event(
+            time_ns=self._now_ns + int(delay_ns),
+            sequence=next(self._sequence),
+            callback=callback,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``time_ns``."""
+        return self.schedule(time_ns - self._now_ns, callback)
+
+    def step(self) -> bool:
+        """Run the next pending event; returns False when queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ns = event.time_ns
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_ns: Optional[int] = None, max_events: int = 10_000_000) -> int:
+        """Drain events, optionally stopping at ``until_ns``.
+
+        Returns the number of events executed.  ``max_events`` guards
+        against accidental infinite self-rescheduling loops.
+        """
+        executed = 0
+        while self._queue and executed < max_events:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until_ns is not None and head.time_ns > until_ns:
+                break
+            self.step()
+            executed += 1
+        if until_ns is not None and self._now_ns < until_ns:
+            self._now_ns = until_ns
+        return executed
+
+    def advance(self, delta_ns: int) -> int:
+        """Run all events within the next ``delta_ns`` nanoseconds."""
+        return self.run(until_ns=self._now_ns + delta_ns)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

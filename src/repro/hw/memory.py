@@ -1,0 +1,201 @@
+"""Physical memory with page-granular ownership.
+
+The paper's central security object is on-NIC RAM: packets, switching
+rules, accelerator queues, and all NF code/data live there (§4.2), and
+S-NIC's goal is *single-owner semantics* for every page.
+
+:class:`PhysicalMemory` models a byte-addressable DRAM as a sparse set of
+pages.  Each page carries an owner tag (the trusted hardware's allocation
+"bitmap" of §4.1).  Crucially, the memory itself does **not** enforce
+ownership — exactly as in real hardware, enforcement lives in the MMU/TLB
+layer in front of it.  The commodity-NIC models reach memory through
+``xkphys``-style raw physical access (no checks, enabling the §3.3
+attacks), while S-NIC routes every access through locked TLBs and
+denylists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: Owner tag for pages not allocated to any network function.
+FREE = None
+
+
+class AccessFault(Exception):
+    """Raised when an access violates a protection check."""
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation cannot be satisfied."""
+
+
+@dataclass
+class PageInfo:
+    """Metadata the trusted hardware tracks per physical page."""
+
+    owner: Optional[int] = FREE
+    denylisted: bool = False
+
+
+class PhysicalMemory:
+    """Sparse byte-addressable physical memory in fixed-size pages.
+
+    Pages materialize lazily on first write.  Reads of untouched memory
+    return zeros (like freshly scrubbed DRAM).
+    """
+
+    def __init__(self, size_bytes: int, page_size: int = 4096) -> None:
+        if size_bytes <= 0 or page_size <= 0:
+            raise ValueError("memory and page sizes must be positive")
+        if size_bytes % page_size:
+            raise ValueError("memory size must be a whole number of pages")
+        self.size_bytes = size_bytes
+        self.page_size = page_size
+        self.n_pages = size_bytes // page_size
+        self._pages: Dict[int, bytearray] = {}
+        self._info: Dict[int, PageInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Page bookkeeping (the §4.1 hardware allocation bitmap)
+    # ------------------------------------------------------------------
+
+    def page_info(self, page_index: int) -> PageInfo:
+        self._check_page(page_index)
+        if page_index not in self._info:
+            self._info[page_index] = PageInfo()
+        return self._info[page_index]
+
+    def owner_of(self, page_index: int) -> Optional[int]:
+        self._check_page(page_index)
+        info = self._info.get(page_index)
+        return info.owner if info else FREE
+
+    def owner_of_addr(self, addr: int) -> Optional[int]:
+        return self.owner_of(addr // self.page_size)
+
+    def pages_owned_by(self, owner: int) -> List[int]:
+        return sorted(
+            idx for idx, info in self._info.items() if info.owner == owner
+        )
+
+    def claim_pages(self, owner: int, page_indices: Iterable[int]) -> None:
+        """Bind pages to ``owner``; fails if any page is already owned.
+
+        This is the check ``nf_launch`` performs while walking the new
+        function's page table (§4.1): "if any of the physical pages ...
+        already belong to a function, nf_launch fails".
+        """
+        indices = list(page_indices)
+        for idx in indices:
+            info = self.page_info(idx)
+            if info.owner is not FREE:
+                raise AccessFault(
+                    f"page {idx} already owned by NF {info.owner}; "
+                    f"cannot claim for NF {owner}"
+                )
+        for idx in indices:
+            self._info[idx].owner = owner
+
+    def release_pages(self, owner: int, scrub: bool = True) -> int:
+        """Release (and optionally zero) every page owned by ``owner``.
+
+        Returns the number of pages released.  ``scrub=True`` is the
+        ``nf_teardown`` behaviour: pages are zeroed *before* leaving the
+        denylist so no data survives for the next owner (§4.6).
+        """
+        released = 0
+        for idx in self.pages_owned_by(owner):
+            if scrub:
+                self.zero_page(idx)
+            self._info[idx].owner = FREE
+            self._info[idx].denylisted = False
+            released += 1
+        return released
+
+    def zero_page(self, page_index: int) -> None:
+        self._check_page(page_index)
+        self._pages.pop(page_index, None)
+
+    def find_free_pages(self, count: int, start: int = 0) -> List[int]:
+        """First-fit search for ``count`` free pages (need not be contiguous)."""
+        found: List[int] = []
+        for idx in range(start, self.n_pages):
+            if self.owner_of(idx) is FREE:
+                found.append(idx)
+                if len(found) == count:
+                    return found
+        raise OutOfMemoryError(f"wanted {count} free pages, found {len(found)}")
+
+    def find_free_range(self, count: int, start: int = 0) -> int:
+        """First-fit search for ``count`` *contiguous* free pages."""
+        run = 0
+        for idx in range(start, self.n_pages):
+            run = run + 1 if self.owner_of(idx) is FREE else 0
+            if run == count:
+                return idx - count + 1
+        raise OutOfMemoryError(f"no contiguous run of {count} free pages")
+
+    # ------------------------------------------------------------------
+    # Raw physical access (no protection — callers enforce their own)
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Raw physical read; crosses page boundaries transparently."""
+        self._check_range(addr, size)
+        out = bytearray()
+        while size > 0:
+            page, offset = divmod(addr, self.page_size)
+            chunk = min(size, self.page_size - offset)
+            backing = self._pages.get(page)
+            if backing is None:
+                out += bytes(chunk)
+            else:
+                out += backing[offset : offset + chunk]
+            addr += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Raw physical write; crosses page boundaries transparently."""
+        self._check_range(addr, len(data))
+        view = memoryview(data)
+        while view:
+            page, offset = divmod(addr, self.page_size)
+            chunk = min(len(view), self.page_size - offset)
+            backing = self._pages.get(page)
+            if backing is None:
+                backing = bytearray(self.page_size)
+                self._pages[page] = backing
+            backing[offset : offset + chunk] = view[:chunk]
+            addr += chunk
+            view = view[chunk:]
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    # ------------------------------------------------------------------
+
+    def _check_page(self, page_index: int) -> None:
+        if not 0 <= page_index < self.n_pages:
+            raise AccessFault(f"page index {page_index} out of range")
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if size < 0:
+            raise ValueError("negative size")
+        if addr < 0 or addr + size > self.size_bytes:
+            raise AccessFault(
+                f"physical access [{addr:#x}, {addr + size:#x}) out of range"
+            )
+
+
+class HostMemory(PhysicalMemory):
+    """The host machine's RAM, as seen across PCIe by the DMA engine.
+
+    Identical mechanics to :class:`PhysicalMemory`; a distinct type keeps
+    NIC-side and host-side address spaces from being confused.
+    """

@@ -1,0 +1,258 @@
+"""Packet ingress/egress circuitry: ports, input/output modules, rings.
+
+Section 3.1 (BlueField-style flow): incoming packets land in an RX
+buffer; the *packet input module* consults management-configured
+switching rules to pick the destination function and copies the packet
+into that function's DRAM region; the function processes it and notifies
+the *packet output module*, which copies the packet from DRAM to the TX
+buffer and then onto the wire.
+
+Section 4.4 carves these resources into virtual packet pipelines: the RX
+and TX ports support per-VPP buffer reservations, and per-core packet
+schedulers have locked TLBs restricting their DMA targets; the S-NIC
+layer (:mod:`repro.core.vpp`) builds on the primitives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.memory import AccessFault, PhysicalMemory
+from repro.hw.mmu import TLB
+from repro.net.packet import Packet
+from repro.net.rules import SwitchingRule
+
+
+@dataclass
+class BufferReservation:
+    """A carve-out of port buffer space owned by one NF."""
+
+    owner: int
+    offset: int
+    size: int
+
+
+class _Port:
+    """Shared machinery for RX/TX ports: a buffer with reservations.
+
+    Reservations are placed first-fit into the gaps left by released
+    owners, so port space survives function churn (§4.8's usage model).
+    """
+
+    def __init__(self, capacity_bytes: int, name: str) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("port capacity must be positive")
+        self.capacity = capacity_bytes
+        self.name = name
+        self.reservations: Dict[int, BufferReservation] = {}
+
+    def _find_gap(self, size: int) -> int:
+        """First-fit offset for ``size`` bytes among current holes."""
+        taken = sorted(
+            (r.offset, r.offset + r.size) for r in self.reservations.values()
+        )
+        cursor = 0
+        for start, end in taken:
+            if start - cursor >= size:
+                return cursor
+            cursor = max(cursor, end)
+        if self.capacity - cursor >= size:
+            return cursor
+        raise AccessFault(
+            f"{self.name}: cannot reserve {size} bytes "
+            f"({self.free_bytes()} free, fragmented)"
+        )
+
+    def reserve(self, owner: int, size: int) -> BufferReservation:
+        """Reserve ``size`` bytes for ``owner``; fails when exhausted."""
+        if owner in self.reservations:
+            raise AccessFault(f"{self.name}: NF {owner} already has a reservation")
+        offset = self._find_gap(size)
+        reservation = BufferReservation(owner=owner, offset=offset, size=size)
+        self.reservations[owner] = reservation
+        return reservation
+
+    def release(self, owner: int) -> None:
+        self.reservations.pop(owner, None)
+
+    def free_bytes(self) -> int:
+        return self.capacity - sum(r.size for r in self.reservations.values())
+
+
+class RXPort(_Port):
+    """The physical receive port: wire-side packet staging."""
+
+    def __init__(self, capacity_bytes: int = 4 * 1024 * 1024) -> None:
+        super().__init__(capacity_bytes, name="rx-port")
+        self._staged: List[Packet] = []
+
+    def wire_arrival(self, packet: Packet) -> None:
+        """A packet arrives from the wire into the RX buffer."""
+        self._staged.append(packet)
+
+    def drain(self) -> List[Packet]:
+        staged, self._staged = self._staged, []
+        return staged
+
+
+class TXPort(_Port):
+    """The physical transmit port: packets headed for the wire."""
+
+    def __init__(self, capacity_bytes: int = 4 * 1024 * 1024) -> None:
+        super().__init__(capacity_bytes, name="tx-port")
+        self.transmitted: List[Tuple[int, Packet]] = []
+
+    def wire_transmit(self, owner: int, packet: Packet) -> None:
+        self.transmitted.append((owner, packet))
+
+
+class PacketRing:
+    """A descriptor ring in a function's DRAM region.
+
+    Mirrors the LiquidIO layout profiled in §5.2: a packet buffer (PB)
+    holding frame bytes plus a descriptor buffer (PDB) of (address,
+    length) records.  The ring reads/writes *through physical memory*, so
+    anything that can reach those addresses can corrupt queued packets —
+    which is exactly the §3.3 packet-corruption attack.
+    """
+
+    DESCRIPTOR_BYTES = 16  # u64 address + u64 length
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        data_base: int,
+        data_size: int,
+        desc_base: int,
+        capacity: int,
+    ) -> None:
+        self.memory = memory
+        self.data_base = data_base
+        self.data_size = data_size
+        self.desc_base = desc_base
+        self.capacity = capacity
+        self.head = 0  # next slot the producer writes
+        self.tail = 0  # next slot the consumer reads
+        self._data_cursor = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self.head - self.tail
+
+    def push(self, frame: bytes) -> int:
+        """Producer side: stage ``frame`` and publish a descriptor.
+
+        Returns the physical address the frame was written to.
+        """
+        if self.occupancy >= self.capacity:
+            raise AccessFault("packet ring full")
+        if len(frame) > self.data_size:
+            raise AccessFault("frame larger than the ring's data region")
+        if self._data_cursor + len(frame) > self.data_size:
+            self._data_cursor = 0  # simple wrap; fine for simulation
+        addr = self.data_base + self._data_cursor
+        self.memory.write(addr, frame)
+        slot = self.head % self.capacity
+        desc_addr = self.desc_base + slot * self.DESCRIPTOR_BYTES
+        self.memory.write_u64(desc_addr, addr)
+        self.memory.write_u64(desc_addr + 8, len(frame))
+        self.head += 1
+        self._data_cursor += len(frame)
+        return addr
+
+    def pop(self) -> Optional[bytes]:
+        """Consumer side: read the next descriptor and its frame bytes."""
+        if self.occupancy == 0:
+            return None
+        slot = self.tail % self.capacity
+        desc_addr = self.desc_base + slot * self.DESCRIPTOR_BYTES
+        addr = self.memory.read_u64(desc_addr)
+        length = self.memory.read_u64(desc_addr + 8)
+        self.tail += 1
+        return self.memory.read(addr, length)
+
+    def peek_descriptors(self) -> List[Tuple[int, int]]:
+        """All live (address, length) descriptor pairs — what an attacker
+        scanning allocator metadata recovers."""
+        out = []
+        for seq in range(self.tail, self.head):
+            slot = seq % self.capacity
+            desc_addr = self.desc_base + slot * self.DESCRIPTOR_BYTES
+            out.append(
+                (self.memory.read_u64(desc_addr), self.memory.read_u64(desc_addr + 8))
+            )
+        return out
+
+
+class PacketInputModule:
+    """Copies arriving packets into per-function rings via switching rules."""
+
+    def __init__(self, rx_port: RXPort) -> None:
+        self.rx_port = rx_port
+        self.rules: List[SwitchingRule] = []
+        self.rings: Dict[int, PacketRing] = {}
+        self.dropped = 0
+        self.delivered: Dict[int, int] = {}
+
+    def configure_rules(self, rules: List[SwitchingRule]) -> None:
+        self.rules = list(rules)
+
+    def add_rules(self, rules: List[SwitchingRule]) -> None:
+        self.rules.extend(rules)
+
+    def remove_rules_for(self, nf_id: int) -> None:
+        self.rules = [r for r in self.rules if r.nf_id != nf_id]
+
+    def attach_ring(self, nf_id: int, ring: PacketRing) -> None:
+        self.rings[nf_id] = ring
+
+    def detach_ring(self, nf_id: int) -> None:
+        self.rings.pop(nf_id, None)
+
+    def classify(self, packet: Packet) -> Optional[int]:
+        """First-match over switching rules; None means drop."""
+        for rule in self.rules:
+            if rule.matches_packet(packet):
+                return rule.nf_id
+        return None
+
+    def process(self) -> int:
+        """Move staged RX packets into their owners' rings."""
+        moved = 0
+        for packet in self.rx_port.drain():
+            nf_id = self.classify(packet)
+            ring = self.rings.get(nf_id) if nf_id is not None else None
+            if ring is None:
+                self.dropped += 1
+                continue
+            ring.push(packet.to_bytes())
+            self.delivered[nf_id] = self.delivered.get(nf_id, 0) + 1
+            moved += 1
+        return moved
+
+
+class PacketOutputModule:
+    """Drains per-function TX rings onto the wire."""
+
+    def __init__(self, tx_port: TXPort) -> None:
+        self.tx_port = tx_port
+        self.rings: Dict[int, PacketRing] = {}
+
+    def attach_ring(self, nf_id: int, ring: PacketRing) -> None:
+        self.rings[nf_id] = ring
+
+    def detach_ring(self, nf_id: int) -> None:
+        self.rings.pop(nf_id, None)
+
+    def process(self) -> int:
+        """Transmit everything queued in every attached ring."""
+        sent = 0
+        for nf_id, ring in self.rings.items():
+            while True:
+                frame = ring.pop()
+                if frame is None:
+                    break
+                self.tx_port.wire_transmit(nf_id, Packet.from_bytes(frame))
+                sent += 1
+        return sent

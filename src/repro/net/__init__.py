@@ -1,0 +1,59 @@
+"""Packet substrate: packets, headers, match rules, VXLAN, flows, traces.
+
+This subpackage provides the networking building blocks used by every other
+part of the reproduction: packet construction and parsing
+(:mod:`repro.net.packet`), 5-tuple match rules and switching rules
+(:mod:`repro.net.rules`), VXLAN encapsulation (:mod:`repro.net.vxlan`), and
+synthetic flow/trace generation (:mod:`repro.net.flows`,
+:mod:`repro.net.traces`).
+"""
+
+from repro.net.packet import (
+    EthernetHeader,
+    FiveTuple,
+    IPv4Header,
+    Packet,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPHeader,
+    UDPHeader,
+    ip_to_int,
+    ip_to_str,
+)
+from repro.net.rules import MatchRule, RuleAction, RuleTable, SwitchingRule
+from repro.net.vxlan import VXLANHeader, vxlan_decapsulate, vxlan_encapsulate
+from repro.net.flows import Flow, FlowGenerator
+from repro.net.traces import (
+    SyntheticTrace,
+    TraceConfig,
+    make_caida_like_trace,
+    make_ictf_like_trace,
+)
+
+__all__ = [
+    "EthernetHeader",
+    "FiveTuple",
+    "Flow",
+    "FlowGenerator",
+    "IPv4Header",
+    "MatchRule",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "RuleAction",
+    "RuleTable",
+    "SwitchingRule",
+    "SyntheticTrace",
+    "TCPHeader",
+    "TraceConfig",
+    "UDPHeader",
+    "VXLANHeader",
+    "ip_to_int",
+    "ip_to_str",
+    "make_caida_like_trace",
+    "make_ictf_like_trace",
+    "vxlan_decapsulate",
+    "vxlan_encapsulate",
+]

@@ -1,0 +1,149 @@
+"""Flow generation: seeded synthetic 5-tuple flows with Zipf popularity.
+
+The paper's performance experiments (§5.3) drive NFs with packet streams
+drawn from "a pool of 100,000 flows ... with a Zipf distribution with a
+skewness of 1.1".  This module provides the flow pool and the bounded-Zipf
+sampler used to pick which flow each packet belongs to.
+
+All randomness is seeded so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import FiveTuple, PROTO_TCP, PROTO_UDP, Packet
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A flow: a 5-tuple plus the packet-size distribution it uses."""
+
+    five_tuple: FiveTuple
+    mean_packet_size: int = 256
+
+    def make_packet(self, payload: bytes = b"", arrival_ns: int = 0) -> Packet:
+        """Build one packet of this flow carrying ``payload``."""
+        ft = self.five_tuple
+        packet = Packet.make(
+            src_ip=_int_to_dq(ft.src_ip),
+            dst_ip=_int_to_dq(ft.dst_ip),
+            proto=ft.proto,
+            src_port=ft.src_port,
+            dst_port=ft.dst_port,
+            payload=payload,
+        )
+        packet.arrival_ns = arrival_ns
+        return packet
+
+
+def _int_to_dq(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalized bounded-Zipf weights: P(rank k) ∝ 1 / k**skew."""
+    if n <= 0:
+        raise ValueError("need at least one rank")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+class FlowGenerator:
+    """A seeded pool of distinct flows with a Zipf popularity law.
+
+    Parameters mirror the paper's setup: ``n_flows=100_000`` and
+    ``zipf_skew=1.1`` reproduce the §5.3 workload; the CAIDA-like trace of
+    §5.1 uses a much larger pool.
+    """
+
+    def __init__(
+        self,
+        n_flows: int,
+        zipf_skew: float = 1.1,
+        seed: int = 2024,
+        tcp_fraction: float = 0.85,
+        subnets: Optional[Sequence[str]] = None,
+    ) -> None:
+        if n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        self.n_flows = n_flows
+        self.zipf_skew = zipf_skew
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed)
+        self._weights = zipf_weights(n_flows, zipf_skew)
+        self._cumulative = np.cumsum(self._weights)
+        self._subnets = list(subnets) if subnets else ["10.0.0.0", "172.16.0.0"]
+        self.flows: List[Flow] = self._make_flows(tcp_fraction)
+
+    def _make_flows(self, tcp_fraction: float) -> List[Flow]:
+        flows: List[Flow] = []
+        seen = set()
+        base_addrs = [
+            sum(int(p) << s for p, s in zip(sub.split("."), (24, 16, 8, 0)))
+            for sub in self._subnets
+        ]
+        while len(flows) < self.n_flows:
+            src_base = self._rng.choice(base_addrs)
+            dst_base = self._rng.choice(base_addrs)
+            ft = FiveTuple(
+                src_ip=src_base + self._rng.randrange(1, 1 << 20),
+                dst_ip=dst_base + self._rng.randrange(1, 1 << 20),
+                proto=PROTO_TCP if self._rng.random() < tcp_fraction else PROTO_UDP,
+                src_port=self._rng.randrange(1024, 65536),
+                dst_port=self._rng.choice([80, 443, 22, 53, 8080, 3306]),
+            )
+            if ft in seen:
+                continue
+            seen.add(ft)
+            size = max(64, int(self._rng.gauss(256, 128)))
+            flows.append(Flow(five_tuple=ft, mean_packet_size=size))
+        return flows
+
+    def sample_indices(self, n_packets: int) -> np.ndarray:
+        """Sample ``n_packets`` flow indices from the Zipf popularity law."""
+        uniform = self._np_rng.random(n_packets)
+        return np.searchsorted(self._cumulative, uniform, side="right")
+
+    def packets(
+        self, n_packets: int, payload_size: Optional[int] = None
+    ) -> Iterator[Packet]:
+        """Yield ``n_packets`` packets, flows chosen Zipf-popularly.
+
+        ``payload_size`` forces a fixed payload length; otherwise each
+        flow's own mean size is used.
+        """
+        indices = self.sample_indices(n_packets)
+        clock_ns = 0
+        for index in indices:
+            flow = self.flows[int(index)]
+            size = payload_size if payload_size is not None else flow.mean_packet_size
+            clock_ns += self._rng.randrange(200, 2000)
+            yield flow.make_packet(payload=bytes(size), arrival_ns=clock_ns)
+
+    def subsample(self, n: int, seed: Optional[int] = None) -> "FlowGenerator":
+        """A new generator over a uniform sample of ``n`` of these flows.
+
+        Mirrors §5.1: "we randomly sampled 100,000 flows" from the ICTF
+        trace, with packets still drawn Zipf(1.1) over the sample.
+        """
+        if n > self.n_flows:
+            raise ValueError("cannot subsample more flows than exist")
+        rng = random.Random(self.seed if seed is None else seed)
+        child = FlowGenerator.__new__(FlowGenerator)
+        child.n_flows = n
+        child.zipf_skew = self.zipf_skew
+        child.seed = self.seed if seed is None else seed
+        child._rng = rng
+        child._np_rng = np.random.default_rng(child.seed)
+        child._weights = zipf_weights(n, self.zipf_skew)
+        child._cumulative = np.cumsum(child._weights)
+        child._subnets = self._subnets
+        child.flows = rng.sample(self.flows, n)
+        return child

@@ -1,0 +1,137 @@
+"""Synthetic packet traces standing in for CAIDA-2016 and iCTF-2010.
+
+The paper evaluates with two traces (§5.1):
+
+* a one-hour anonymized CAIDA trace from 2016 (26.7 M TCP flows,
+  1.34 G packets), used for memory profiling of the Monitor NF in
+  five-minute windows (Table 6, Figure 7); and
+* the 2010 UCSB iCTF capture-the-flag trace, from which 100 k flows were
+  uniformly sampled; the resulting packet streams follow Zipf(1.1)
+  (§5.3, Figure 5).
+
+Neither trace is redistributable, so this module generates seeded
+synthetic traces with the same reported statistics (flow counts, Zipf
+skew, TCP dominance, packet-size mix).  The substitution is documented in
+DESIGN.md; the downstream code paths (flow tables, caches, NF state
+growth) only depend on these statistics.
+
+Traces are *scaled*: generating 1.34 G packets in Python is pointless, so
+a trace carries a ``scale`` factor and exposes both the scaled
+(generated) counts and the full-size counts it models, letting memory
+models extrapolate faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.net.flows import Flow, FlowGenerator
+from repro.net.packet import Packet
+
+#: Statistics the paper reports for the real traces.
+CAIDA_2016_FLOWS = 26_700_000
+CAIDA_2016_PACKETS = 1_340_000_000
+CAIDA_2016_DURATION_S = 3600
+ICTF_2010_SAMPLED_FLOWS = 100_000
+ZIPF_SKEW = 1.1
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of a synthetic trace.
+
+    ``modeled_flows``/``modeled_packets`` are the full-size counts being
+    modeled; ``scale`` shrinks what is actually generated.
+    """
+
+    name: str
+    modeled_flows: int
+    modeled_packets: int
+    duration_s: int
+    scale: float = 1.0
+    zipf_skew: float = ZIPF_SKEW
+    seed: int = 2016
+
+    @property
+    def generated_flows(self) -> int:
+        return max(1, int(self.modeled_flows * self.scale))
+
+    @property
+    def generated_packets(self) -> int:
+        return max(1, int(self.modeled_packets * self.scale))
+
+
+@dataclass
+class SyntheticTrace:
+    """A generated trace: a flow pool plus a packet stream over it."""
+
+    config: TraceConfig
+    generator: FlowGenerator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.generator = FlowGenerator(
+            n_flows=self.config.generated_flows,
+            zipf_skew=self.config.zipf_skew,
+            seed=self.config.seed,
+        )
+
+    @property
+    def flows(self) -> List[Flow]:
+        return self.generator.flows
+
+    def packets(self, n_packets: int = 0, payload_size: int = None) -> Iterator[Packet]:
+        """Yield packets; default count is the trace's generated size."""
+        count = n_packets or self.config.generated_packets
+        return self.generator.packets(count, payload_size=payload_size)
+
+    def window_flow_counts(self, n_windows: int) -> List[int]:
+        """Distinct-flow counts per time window (Monitor profiling, §5.2).
+
+        Splits the packet stream into ``n_windows`` equal windows and
+        counts distinct flows in each, mimicking the paper's five-minute
+        CAIDA windows used to size the Monitor NF.
+        """
+        total = self.config.generated_packets
+        per_window = max(1, total // n_windows)
+        counts: List[int] = []
+        indices = self.generator.sample_indices(total)
+        for w in range(n_windows):
+            window = indices[w * per_window : (w + 1) * per_window]
+            counts.append(len(set(window.tolist())))
+        return counts
+
+
+def make_caida_like_trace(scale: float = 2e-4, seed: int = 2016) -> SyntheticTrace:
+    """A scaled synthetic stand-in for the CAIDA 2016 one-hour trace."""
+    config = TraceConfig(
+        name="caida-2016-like",
+        modeled_flows=CAIDA_2016_FLOWS,
+        modeled_packets=CAIDA_2016_PACKETS,
+        duration_s=CAIDA_2016_DURATION_S,
+        scale=scale,
+        seed=seed,
+    )
+    return SyntheticTrace(config)
+
+
+def make_ictf_like_trace(
+    n_flows: int = ICTF_2010_SAMPLED_FLOWS,
+    packets_per_flow: float = 20.0,
+    scale: float = 0.01,
+    seed: int = 2010,
+) -> SyntheticTrace:
+    """A scaled synthetic stand-in for the sampled iCTF 2010 trace.
+
+    The full-size model is the paper's 100 k-flow uniform sample with
+    Zipf(1.1) packet popularity.
+    """
+    config = TraceConfig(
+        name="ictf-2010-like",
+        modeled_flows=n_flows,
+        modeled_packets=int(n_flows * packets_per_flow),
+        duration_s=8 * 3600,
+        scale=scale,
+        seed=seed,
+    )
+    return SyntheticTrace(config)

@@ -1,0 +1,95 @@
+"""VXLAN (RFC 7348) encapsulation for tenant virtual L2 networks.
+
+Section 4.4 of the paper: S-NIC lets a network function act as a VXLAN
+endpoint, so that switching rules can mention Virtual Network Identifiers
+(VNIs) in addition to MAC addresses and 5-tuple data.  We implement the
+real VXLAN frame layout: an outer Ethernet/IPv4/UDP transport around an
+8-byte VXLAN header carrying a 24-bit VNI, wrapping the inner L2 frame.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.packet import (
+    EthernetHeader,
+    IPv4Header,
+    PROTO_UDP,
+    Packet,
+    UDPHeader,
+    UDP_HEADER_LEN,
+)
+
+VXLAN_UDP_PORT = 4789
+VXLAN_HEADER_LEN = 8
+_VXLAN_FLAG_VALID_VNI = 0x08
+
+
+@dataclass(frozen=True)
+class VXLANHeader:
+    """The 8-byte VXLAN header: flags byte + 24-bit VNI."""
+
+    vni: int
+    flags: int = _VXLAN_FLAG_VALID_VNI
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError(f"VNI out of 24-bit range: {self.vni}")
+
+    def pack(self) -> bytes:
+        return struct.pack("!B3xI", self.flags, self.vni << 8)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "VXLANHeader":
+        if len(data) < VXLAN_HEADER_LEN:
+            raise ValueError("buffer too short for VXLAN header")
+        flags, packed = struct.unpack_from("!B3xI", data)
+        if not flags & _VXLAN_FLAG_VALID_VNI:
+            raise ValueError("VXLAN header without a valid VNI flag")
+        return cls(vni=packed >> 8, flags=flags)
+
+
+def vxlan_encapsulate(
+    inner: Packet,
+    vni: int,
+    outer_src_ip: int,
+    outer_dst_ip: int,
+    outer_src_port: int = 49152,
+) -> Packet:
+    """Wrap ``inner`` in a VXLAN transport frame addressed VTEP-to-VTEP.
+
+    The inner frame travels as the payload of an outer UDP datagram on the
+    IANA VXLAN port.  The returned packet's ``vni`` attribute is *not* set;
+    it describes the outer transport, whose payload carries the VNI.
+    """
+    inner_bytes = inner.to_bytes()
+    header = VXLANHeader(vni=vni)
+    payload = header.pack() + inner_bytes
+    outer = Packet(
+        eth=EthernetHeader(),
+        ip=IPv4Header(src_ip=outer_src_ip, dst_ip=outer_dst_ip, proto=PROTO_UDP),
+        l4=UDPHeader(
+            src_port=outer_src_port,
+            dst_port=VXLAN_UDP_PORT,
+            length=UDP_HEADER_LEN + len(payload),
+        ),
+        payload=payload,
+    )
+    return outer
+
+
+def vxlan_decapsulate(outer: Packet) -> Tuple[int, Packet]:
+    """Strip the VXLAN wrapper; return ``(vni, inner_packet)``.
+
+    The inner packet's ``vni`` field is populated so that downstream
+    switching rules can match on it (§4.4).
+    """
+    if not isinstance(outer.l4, UDPHeader) or outer.l4.dst_port != VXLAN_UDP_PORT:
+        raise ValueError("not a VXLAN transport packet")
+    header = VXLANHeader.unpack(outer.payload)
+    inner = Packet.from_bytes(outer.payload[VXLAN_HEADER_LEN:])
+    inner.vni = header.vni
+    inner.arrival_ns = outer.arrival_ns
+    return header.vni, inner

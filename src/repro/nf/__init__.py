@@ -1,0 +1,55 @@
+"""The six network functions of §5.1, implemented with real algorithms.
+
+* :class:`~repro.nf.firewall.Firewall` — stateful firewall: ordered rule
+  scan with an LRU flow cache (Open vSwitch's 200 k cached-flow limit).
+* :class:`~repro.nf.dpi.DPIEngine` — Aho–Corasick multi-pattern matcher
+  built from scratch.
+* :class:`~repro.nf.nat.NAT` — MazuNAT-style source NAT with a port pool
+  capped at 65,535 flows.
+* :class:`~repro.nf.loadbalancer.MaglevLoadBalancer` — Google Maglev
+  consistent hashing with connection tracking.
+* :class:`~repro.nf.lpm.DIR24_8` — longest-prefix matching with the
+  DIR-24-8 two-level table.
+* :class:`~repro.nf.monitor.Monitor` — per-5-tuple packet counting on an
+  explicitly-resizing hash map (whose resize transients drive Figure 7).
+"""
+
+from repro.nf.base import NetworkFunction, NFStats
+from repro.nf.hashmap import ResizingHashMap
+from repro.nf.conntrack import ConnectionTracker, ConnState, Verdict
+from repro.nf.firewall import (
+    Firewall,
+    StatefulFirewall,
+    make_emerging_threats_rules,
+)
+from repro.nf.dpi import AhoCorasick, DPIEngine, make_snort_like_patterns
+from repro.nf.nat import NAT, NATBinding
+from repro.nf.loadbalancer import Backend, MaglevLoadBalancer
+from repro.nf.lpm import DIR24_8, make_random_routes
+from repro.nf.monitor import Monitor
+
+__all__ = [
+    "AhoCorasick",
+    "Backend",
+    "ConnState",
+    "ConnectionTracker",
+    "DIR24_8",
+    "DPIEngine",
+    "Firewall",
+    "StatefulFirewall",
+    "Verdict",
+    "Monitor",
+    "NAT",
+    "NATBinding",
+    "NFStats",
+    "NetworkFunction",
+    "MaglevLoadBalancer",
+    "ResizingHashMap",
+    "make_emerging_threats_rules",
+    "make_random_routes",
+    "make_snort_like_patterns",
+]
+
+#: Canonical short names used across cost profiles and benchmarks,
+#: in the paper's presentation order.
+NF_NAMES = ("FW", "DPI", "NAT", "LB", "LPM", "Mon")

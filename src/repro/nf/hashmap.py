@@ -1,0 +1,194 @@
+"""An explicitly-resizing hash map with observable memory behaviour.
+
+The paper's NFs use Rust's ``HashMap``; its capacity-doubling resizes are
+what produce the memory spikes in Figure 7 ("multiple HashMap resizings")
+and the wasted preallocation in Table 8 ("for NAT and Monitor,
+preallocation wastes around a third of the memory due to HashMap
+resizing").
+
+Python's ``dict`` hides its resizing, so we implement open-addressing
+Robin-Hood-free linear probing with explicit capacity management.  The
+map reports:
+
+* ``table_bytes`` — current backing-table size,
+* ``peak_transient_bytes`` — the worst instantaneous footprint including
+  the old+new tables coexisting during a resize,
+* a resize-event log, which the Figure 7 time-series model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_EMPTY = object()
+_TOMBSTONE = object()
+
+
+@dataclass(frozen=True)
+class ResizeEvent:
+    """One capacity-doubling: recorded for the memory time series."""
+
+    at_insert: int
+    old_capacity: int
+    new_capacity: int
+
+
+class ResizingHashMap(Generic[K, V]):
+    """Open-addressing hash map with power-of-two capacity doubling."""
+
+    def __init__(
+        self,
+        initial_capacity: int = 16,
+        max_load_factor: float = 0.875,
+        entry_bytes: int = 48,
+    ) -> None:
+        if initial_capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0 < max_load_factor < 1:
+            raise ValueError("load factor must be in (0, 1)")
+        capacity = 1
+        while capacity < initial_capacity:
+            capacity *= 2
+        self._capacity = capacity
+        self.max_load_factor = max_load_factor
+        #: Modelled per-slot cost (key+value+control byte), for memory
+        #: accounting.  Rust's HashMap<K, V> stores entries inline.
+        self.entry_bytes = entry_bytes
+        self._keys: List[object] = [_EMPTY] * capacity
+        self._values: List[object] = [None] * capacity
+        self._size = 0
+        self._tombstones = 0
+        self._inserts = 0
+        self.resize_events: List[ResizeEvent] = []
+        self._peak_transient = self.table_bytes
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def load_factor(self) -> float:
+        return (self._size + self._tombstones) / self._capacity
+
+    @property
+    def table_bytes(self) -> int:
+        return self._capacity * self.entry_bytes
+
+    @property
+    def peak_transient_bytes(self) -> int:
+        """Worst instantaneous footprint ever (includes resize overlap)."""
+        return self._peak_transient
+
+    # ------------------------------------------------------------------
+
+    def _probe(self, key: K) -> int:
+        """Index of the slot holding ``key``, or the insertion slot."""
+        mask = self._capacity - 1
+        index = hash(key) & mask
+        first_tombstone = -1
+        for _ in range(self._capacity):
+            slot_key = self._keys[index]
+            if slot_key is _EMPTY:
+                return first_tombstone if first_tombstone >= 0 else index
+            if slot_key is _TOMBSTONE:
+                if first_tombstone < 0:
+                    first_tombstone = index
+            elif slot_key == key:
+                return index
+            index = (index + 1) & mask
+        if first_tombstone >= 0:
+            return first_tombstone
+        raise RuntimeError("hash table unexpectedly full")
+
+    def _grow(self) -> None:
+        old_capacity = self._capacity
+        old_keys, old_values = self._keys, self._values
+        new_capacity = old_capacity * 2
+        # The transient: old and new tables alive simultaneously, like
+        # Rust's HashMap reallocate-and-rehash.
+        transient = (old_capacity + new_capacity) * self.entry_bytes
+        self._peak_transient = max(self._peak_transient, transient)
+        self.resize_events.append(
+            ResizeEvent(
+                at_insert=self._inserts,
+                old_capacity=old_capacity,
+                new_capacity=new_capacity,
+            )
+        )
+        self._capacity = new_capacity
+        self._keys = [_EMPTY] * new_capacity
+        self._values = [None] * new_capacity
+        self._size = 0
+        self._tombstones = 0
+        for key, value in zip(old_keys, old_values):
+            if key is not _EMPTY and key is not _TOMBSTONE:
+                self._insert_fresh(key, value)
+
+    def _insert_fresh(self, key: K, value: V) -> None:
+        index = self._probe(key)
+        if self._keys[index] is _TOMBSTONE:
+            self._tombstones -= 1
+        self._keys[index] = key
+        self._values[index] = value
+        self._size += 1
+
+    # ------------------------------------------------------------------
+
+    def put(self, key: K, value: V) -> None:
+        self._inserts += 1
+        index = self._probe(key)
+        existing = self._keys[index]
+        if existing is not _EMPTY and existing is not _TOMBSTONE:
+            self._values[index] = value
+            return
+        if existing is _TOMBSTONE:
+            self._tombstones -= 1
+        self._keys[index] = key
+        self._values[index] = value
+        self._size += 1
+        if self.load_factor > self.max_load_factor:
+            self._grow()
+        self._peak_transient = max(self._peak_transient, self.table_bytes)
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        index = self._probe(key)
+        existing = self._keys[index]
+        if existing is _EMPTY or existing is _TOMBSTONE:
+            return default
+        return self._values[index]  # type: ignore[return-value]
+
+    def __contains__(self, key: K) -> bool:
+        index = self._probe(key)
+        existing = self._keys[index]
+        return existing is not _EMPTY and existing is not _TOMBSTONE
+
+    def remove(self, key: K) -> bool:
+        index = self._probe(key)
+        existing = self._keys[index]
+        if existing is _EMPTY or existing is _TOMBSTONE:
+            return False
+        self._keys[index] = _TOMBSTONE
+        self._values[index] = None
+        self._size -= 1
+        self._tombstones += 1
+        return True
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        for key, value in zip(self._keys, self._values):
+            if key is not _EMPTY and key is not _TOMBSTONE:
+                yield key, value  # type: ignore[misc]
+
+    def clear(self) -> None:
+        self._keys = [_EMPTY] * self._capacity
+        self._values = [None] * self._capacity
+        self._size = 0
+        self._tombstones = 0

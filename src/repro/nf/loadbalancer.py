@@ -1,0 +1,160 @@
+"""Maglev consistent-hashing load balancer (§5.1).
+
+"Google's software load balancer called Maglev.  This function uses
+consistent hashing to distribute flows."
+
+We implement the real Maglev table-population algorithm (Eisenbud et
+al., NSDI 2016 §3.4): each backend gets a permutation of table slots
+derived from two hashes (``offset``, ``skip``); backends take turns
+claiming their next unclaimed slot until the table is full.  Lookup is a
+single hash + table index, plus a connection-tracking map so in-flight
+flows stick to their backend across table rebuilds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.sha256 import sha256
+from repro.net.packet import FiveTuple, Packet
+from repro.nf.base import NetworkFunction
+
+#: Default Maglev table size; must be prime (the paper's Maglev uses
+#: 65537 for small setups).
+DEFAULT_TABLE_SIZE = 65_537
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A load-balanced backend endpoint."""
+
+    name: str
+    ip: str
+    weight: int = 1
+
+
+def _hash64(data: bytes, salt: bytes) -> int:
+    return int.from_bytes(sha256(salt + data)[:8], "big")
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+class MaglevLoadBalancer(NetworkFunction):
+    """Consistent-hashing LB with Maglev table population."""
+
+    name = "LB"
+
+    def __init__(
+        self,
+        backends: Sequence[Backend],
+        table_size: int = DEFAULT_TABLE_SIZE,
+        track_connections: bool = True,
+    ) -> None:
+        super().__init__()
+        if not backends:
+            raise ValueError("need at least one backend")
+        if not _is_prime(table_size):
+            raise ValueError("Maglev table size must be prime")
+        if len(set(b.name for b in backends)) != len(backends):
+            raise ValueError("backend names must be unique")
+        self.backends: List[Backend] = list(backends)
+        self.table_size = table_size
+        self.track_connections = track_connections
+        self.connections: Dict[FiveTuple, str] = {}
+        self.table: List[int] = self._populate()
+
+    # ------------------------------------------------------------------
+    # Maglev §3.4: permutation generation + table population
+    # ------------------------------------------------------------------
+
+    def _permutation_params(self, backend: Backend) -> tuple:
+        name = backend.name.encode()
+        offset = _hash64(name, b"maglev-offset") % self.table_size
+        skip = _hash64(name, b"maglev-skip") % (self.table_size - 1) + 1
+        return offset, skip
+
+    def _populate(self) -> List[int]:
+        m = self.table_size
+        n = len(self.backends)
+        params = [self._permutation_params(b) for b in self.backends]
+        next_index = [0] * n
+        entry = [-1] * m
+        filled = 0
+        # Weighted backends take proportionally more turns.
+        turns: List[int] = []
+        for i, backend in enumerate(self.backends):
+            turns.extend([i] * max(1, backend.weight))
+        while True:
+            for i in turns:
+                offset, skip = params[i]
+                # Find backend i's next preferred slot that is unclaimed.
+                while True:
+                    candidate = (offset + next_index[i] * skip) % m
+                    next_index[i] += 1
+                    if entry[candidate] < 0:
+                        entry[candidate] = i
+                        filled += 1
+                        break
+                if filled == m:
+                    return entry
+
+    # ------------------------------------------------------------------
+
+    def backend_for(self, five_tuple: FiveTuple) -> Backend:
+        """The backend this flow maps to (connection table first)."""
+        if self.track_connections:
+            name = self.connections.get(five_tuple)
+            if name is not None:
+                for backend in self.backends:
+                    if backend.name == name:
+                        return backend
+        key = str(five_tuple.as_tuple()).encode()
+        index = _hash64(key, b"maglev-lookup") % self.table_size
+        backend = self.backends[self.table[index]]
+        if self.track_connections:
+            self.connections[five_tuple] = backend.name
+        return backend
+
+    def handle(self, packet: Packet) -> Optional[Packet]:
+        backend = self.backend_for(packet.five_tuple)
+        from repro.net.packet import ip_to_int
+
+        packet.ip.dst_ip = ip_to_int(backend.ip)
+        return packet
+
+    def distribution(self) -> Dict[str, int]:
+        """Table slots per backend — nearly equal by Maglev's design."""
+        counts: Dict[str, int] = {b.name: 0 for b in self.backends}
+        for index in self.table:
+            counts[self.backends[index].name] += 1
+        return counts
+
+    def remove_backend(self, name: str) -> None:
+        """Remove a backend and rebuild (minimal-disruption property)."""
+        remaining = [b for b in self.backends if b.name != name]
+        if len(remaining) == len(self.backends):
+            raise KeyError(f"no backend named {name!r}")
+        if not remaining:
+            raise ValueError("cannot remove the last backend")
+        self.backends = remaining
+        self.table = self._populate()
+        self.connections = {
+            ft: n for ft, n in self.connections.items() if n != name
+        }
+
+    def state_bytes(self) -> int:
+        return self.table_size * 2 + len(self.connections) * 48
+
+    def reset(self) -> None:
+        super().reset()
+        self.connections = {}

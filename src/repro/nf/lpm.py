@@ -1,0 +1,170 @@
+"""Longest-prefix matching with DIR-24-8 (§5.1).
+
+"Longest prefix matching using the DIR-24-8 algorithm for IP packet
+routing.  Like NetBricks, we generate 16,000 random rules to construct
+the lookup table."
+
+DIR-24-8 (Gupta, Lin, McKeown, INFOCOM 1998) resolves prefixes of length
+<= 24 with a single index into a 2^24-entry table (tbl24); longer
+prefixes chain to 256-entry second-level tables (tbl8 pools).  We use the
+real layout: tbl24 entries are 16-bit values whose top bit selects
+"next-hop" vs "tbl8 index", exactly like DPDK's implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.net.rules import Prefix
+from repro.nf.base import NetworkFunction
+
+#: Rule count used by the paper (from NetBricks).
+PAPER_ROUTE_COUNT = 16_000
+
+_VALID_FLAG = 0x8000  # entry holds a tbl8 index rather than a next hop
+_TBL24_SIZE = 1 << 24
+_TBL8_GROUP = 256
+_MAX_NEXT_HOP = 0x7FFF
+
+
+class DIR24_8(NetworkFunction):
+    """The DIR-24-8 two-level longest-prefix-match table."""
+
+    name = "LPM"
+
+    def __init__(self, max_tbl8_groups: int = 256) -> None:
+        super().__init__()
+        self.tbl24 = np.zeros(_TBL24_SIZE, dtype=np.uint16)
+        self.tbl8 = np.zeros(max_tbl8_groups * _TBL8_GROUP, dtype=np.uint16)
+        self.max_tbl8_groups = max_tbl8_groups
+        self._tbl8_used = 0
+        # Track installed prefix lengths per tbl24 slot so shorter
+        # prefixes never clobber longer ones during insertion.
+        self._depth24 = np.zeros(_TBL24_SIZE, dtype=np.uint8)
+        self._depth8 = np.zeros(max_tbl8_groups * _TBL8_GROUP, dtype=np.uint8)
+        self.routes: List[Tuple[Prefix, int]] = []
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def add_route(self, prefix: Prefix, next_hop: int) -> None:
+        """Install ``prefix -> next_hop`` (next hops are 1..0x7FFE).
+
+        Next hop 0 is reserved as "no route".
+        """
+        if not 1 <= next_hop < _MAX_NEXT_HOP:
+            raise ValueError("next hop must be in [1, 0x7FFE]")
+        self.routes.append((prefix, next_hop))
+        if prefix.length <= 24:
+            self._insert_short(prefix, next_hop)
+        else:
+            self._insert_long(prefix, next_hop)
+
+    def _insert_short(self, prefix: Prefix, next_hop: int) -> None:
+        base = (prefix.address & prefix.mask) >> 8
+        count = 1 << (24 - prefix.length)
+        span = slice(base, base + count)
+        depth = prefix.length
+        # Only overwrite slots covered by an equal-or-shorter prefix.
+        takeover = self._depth24[span] <= depth
+        plain = (self.tbl24[span] & _VALID_FLAG) == 0
+        idx = np.nonzero(takeover & plain)[0] + base
+        self.tbl24[idx] = next_hop
+        self._depth24[idx] = depth
+        # Slots that chain to tbl8 groups: update in-group entries too.
+        chained = np.nonzero(takeover & ~plain)[0] + base
+        for slot in chained:
+            group = int(self.tbl24[slot]) & ~_VALID_FLAG
+            gspan = slice(group * _TBL8_GROUP, (group + 1) * _TBL8_GROUP)
+            inner = self._depth8[gspan] <= depth
+            gidx = np.nonzero(inner)[0] + group * _TBL8_GROUP
+            self.tbl8[gidx] = next_hop
+            self._depth8[gidx] = depth
+
+    def _insert_long(self, prefix: Prefix, next_hop: int) -> None:
+        slot = (prefix.address & prefix.mask) >> 8
+        entry = int(self.tbl24[slot])
+        if entry & _VALID_FLAG:
+            group = entry & ~_VALID_FLAG
+        else:
+            group = self._allocate_tbl8()
+            gspan = slice(group * _TBL8_GROUP, (group + 1) * _TBL8_GROUP)
+            # Seed the new group with the existing shorter-prefix next hop.
+            self.tbl8[gspan] = entry
+            self._depth8[gspan] = self._depth24[slot]
+            self.tbl24[slot] = _VALID_FLAG | group
+        low = prefix.address & 0xFF & ((0xFF << (32 - prefix.length)) & 0xFF)
+        count = 1 << (32 - prefix.length)
+        start = group * _TBL8_GROUP + low
+        depth = prefix.length
+        inner = self._depth8[start : start + count] <= depth
+        idx = np.nonzero(inner)[0] + start
+        self.tbl8[idx] = next_hop
+        self._depth8[idx] = depth
+
+    def _allocate_tbl8(self) -> int:
+        if self._tbl8_used >= self.max_tbl8_groups:
+            raise MemoryError("out of tbl8 groups")
+        group = self._tbl8_used
+        self._tbl8_used += 1
+        return group
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, ip: int) -> Optional[int]:
+        """Next hop for ``ip``, or None when no route matches."""
+        entry = int(self.tbl24[ip >> 8])
+        if entry & _VALID_FLAG:
+            entry = int(self.tbl8[(entry & ~_VALID_FLAG) * _TBL8_GROUP + (ip & 0xFF)])
+        return entry if entry else None
+
+    def lookup_linear(self, ip: int) -> Optional[int]:
+        """Reference longest-prefix match by scanning all routes.
+
+        Quadratic and only for validation: property tests check that the
+        table agrees with this oracle on random addresses.
+        """
+        best: Optional[Tuple[int, int]] = None
+        for prefix, next_hop in self.routes:
+            if prefix.contains(ip):
+                if best is None or prefix.length > best[0]:
+                    best = (prefix.length, next_hop)
+        return best[1] if best else None
+
+    def handle(self, packet: Packet) -> Optional[Packet]:
+        next_hop = self.lookup(packet.ip.dst_ip)
+        if next_hop is None:
+            return None  # no route: drop
+        packet.ip.ttl = max(0, packet.ip.ttl - 1)
+        return packet if packet.ip.ttl else None
+
+    def state_bytes(self) -> int:
+        return self.tbl24.nbytes + self._tbl8_used * _TBL8_GROUP * 2
+
+
+def make_random_routes(
+    n_routes: int = PAPER_ROUTE_COUNT, seed: int = 5
+) -> List[Tuple[Prefix, int]]:
+    """NetBricks-style random route table (16,000 rules by default)."""
+    rng = random.Random(seed)
+    routes: List[Tuple[Prefix, int]] = []
+    seen = set()
+    while len(routes) < n_routes:
+        length = rng.choices(
+            [8, 16, 20, 24, 28, 32], weights=[2, 10, 20, 50, 10, 8]
+        )[0]
+        addr = rng.randrange(0, 1 << 32)
+        mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+        key = (addr & mask, length)
+        if key in seen:
+            continue
+        seen.add(key)
+        routes.append((Prefix(addr & mask, length), rng.randrange(1, 0x7FFE)))
+    return routes

@@ -1,0 +1,121 @@
+"""A MazuNAT-derived network address translator (§5.1).
+
+"The NAT uses a HashMap to cache frequently-used translations.  The
+cache only records the translation results of the first 65,535 flows
+that can be successfully assigned a distinct port number."
+
+Outbound packets from the internal network are source-NATted to the
+external address with a freshly allocated port; return traffic matches
+the reverse binding and is rewritten back.  Flows beyond the port pool
+pass through untranslated (the paper's cache-miss behaviour for the
+66,536th flow onward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.packet import FiveTuple, Packet, TCPHeader, UDPHeader, ip_to_int
+from repro.nf.base import NetworkFunction
+from repro.nf.hashmap import ResizingHashMap
+
+#: Distinct port numbers available, hence the flow cap in the paper.
+PORT_POOL_SIZE = 65_535
+_FIRST_PORT = 1  # ports 1..65535
+
+
+@dataclass(frozen=True)
+class NATBinding:
+    """One translation: internal (ip, port) <-> external port."""
+
+    internal_ip: int
+    internal_port: int
+    external_port: int
+
+
+class NAT(NetworkFunction):
+    """Source NAT with hash-mapped bindings and a bounded port pool."""
+
+    name = "NAT"
+
+    def __init__(
+        self,
+        external_ip: str,
+        internal_prefix: str = "10.0.0.0/8",
+    ) -> None:
+        super().__init__()
+        from repro.net.rules import Prefix
+
+        self.external_ip = ip_to_int(external_ip)
+        self.internal_prefix = Prefix.parse(internal_prefix)
+        # forward: internal 5-tuple -> binding; reverse: ext port -> binding
+        self.forward: ResizingHashMap[FiveTuple, NATBinding] = ResizingHashMap(
+            entry_bytes=64
+        )
+        self.reverse: Dict[int, NATBinding] = {}
+        self._next_port = _FIRST_PORT
+        self.translations = 0
+        self.pool_exhausted = 0
+
+    @property
+    def active_bindings(self) -> int:
+        return len(self.reverse)
+
+    def _allocate_port(self) -> Optional[int]:
+        if self._next_port > PORT_POOL_SIZE:
+            return None
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def handle(self, packet: Packet) -> Optional[Packet]:
+        if not isinstance(packet.l4, (TCPHeader, UDPHeader)):
+            return packet  # non-TCP/UDP traffic passes through
+        if self.internal_prefix.contains(packet.ip.src_ip):
+            return self._outbound(packet)
+        if packet.ip.dst_ip == self.external_ip:
+            return self._inbound(packet)
+        return packet
+
+    def _outbound(self, packet: Packet) -> Packet:
+        key = packet.five_tuple
+        binding = self.forward.get(key)
+        if binding is None:
+            port = self._allocate_port()
+            if port is None:
+                self.pool_exhausted += 1
+                return packet  # pool exhausted: pass through untranslated
+            binding = NATBinding(
+                internal_ip=packet.ip.src_ip,
+                internal_port=key.src_port,
+                external_port=port,
+            )
+            self.forward.put(key, binding)
+            self.reverse[port] = binding
+        packet.ip.src_ip = self.external_ip
+        packet.l4.src_port = binding.external_port
+        packet.fill_l4_checksum()  # rewriting invalidates the checksum
+        self.translations += 1
+        return packet
+
+    def _inbound(self, packet: Packet) -> Optional[Packet]:
+        binding = self.reverse.get(packet.l4.dst_port)
+        if binding is None:
+            return None  # unsolicited inbound: drop (stateful NAT)
+        packet.ip.dst_ip = binding.internal_ip
+        packet.l4.dst_port = binding.internal_port
+        packet.fill_l4_checksum()
+        self.translations += 1
+        return packet
+
+    def state_bytes(self) -> int:
+        return self.forward.table_bytes + len(self.reverse) * 48
+
+    def reset(self) -> None:
+        super().reset()
+        self.forward = ResizingHashMap(entry_bytes=64)
+        self.reverse = {}
+        self._next_port = _FIRST_PORT
+        self.translations = 0
+        self.pool_exhausted = 0

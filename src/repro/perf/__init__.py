@@ -1,0 +1,53 @@
+"""Performance experiments: the Figure 5 IPC-degradation study (§5.3).
+
+The paper drives gem5 with six NFs over an ICTF-derived Zipf(1.1) flow
+pool and reports the IPC cost of S-NIC's cache partitioning + bus
+arbitration relative to an unpartitioned baseline at equal cotenancy.
+
+This package reproduces that study with a two-level methodology:
+
+* :mod:`repro.perf.workloads` — per-NF memory-access models (region
+  sizes from the paper's profiles; Zipf line popularity from the trace
+  skew) that generate concrete address streams.
+* :mod:`repro.perf.che` — Che's approximation for LRU hit rates, used
+  for the full parameter sweeps (fast, smooth); the test suite
+  cross-validates it against the trace-driven simulator in
+  :mod:`repro.hw.cache` on small configurations.
+* :mod:`repro.perf.ipc` — the CPI/IPC model combining cache stalls with
+  the bus-arbitration term (temporal partitioning vs FCFS).
+* :mod:`repro.perf.colocation` — the experiment driver producing the
+  Figure 5a/5b series (median + p1/p99 over all colocations).
+"""
+
+from repro.perf.workloads import NF_ACCESS_MODELS, AccessModel, RegionAccess
+from repro.perf.che import che_hit_rates, solve_characteristic_time
+from repro.perf.ipc import BusModel, IPCModel, LevelCounts
+from repro.perf.colocation import (
+    ColocationResult,
+    cache_size_sweep,
+    cotenancy_sweep,
+    ipc_degradation,
+)
+from repro.perf.simulate import (
+    SimulatedTenant,
+    simulate_colocation,
+    simulated_ipc_degradation,
+)
+
+__all__ = [
+    "AccessModel",
+    "BusModel",
+    "ColocationResult",
+    "IPCModel",
+    "LevelCounts",
+    "NF_ACCESS_MODELS",
+    "RegionAccess",
+    "SimulatedTenant",
+    "simulate_colocation",
+    "simulated_ipc_degradation",
+    "cache_size_sweep",
+    "che_hit_rates",
+    "cotenancy_sweep",
+    "ipc_degradation",
+    "solve_characteristic_time",
+]

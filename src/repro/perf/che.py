@@ -1,0 +1,153 @@
+"""Che's approximation for LRU cache hit rates, over grouped populations.
+
+Che, Tung & Wang (2002) showed that an LRU cache of ``C`` lines under
+independent-reference traffic behaves as if every line had a single
+*characteristic time* ``T``: line ``i`` with access rate ``λ_i`` hits
+with probability ``1 − exp(−λ_i · T)``, where ``T`` solves
+
+    Σ_i (1 − exp(−λ_i · T)) = C.
+
+The approximation is famously accurate for Zipf-like traffic, which is
+exactly the §5.3 workload; the test suite cross-validates it against the
+trace-driven simulator (:mod:`repro.hw.cache`) on small configurations.
+
+Populations are *grouped*: a :class:`LinePopulation` stores
+``(rate, count)`` pairs — ``count`` lines each accessed at ``rate`` —
+so a multi-megabyte Zipf region needs only a few thousand groups (exact
+head + log-bucketed tail) instead of one entry per cache line.  Sharing
+and two-level composition fall out naturally: concatenate populations
+for a shared cache, and push ``miss_traffic`` down to the next level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinePopulation:
+    """Grouped per-line access rates: ``counts[i]`` lines at ``rates[i]``."""
+
+    rates: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.rates) != len(self.counts):
+            raise ValueError("rates and counts must align")
+
+    @classmethod
+    def exact(cls, rates: Iterable[float]) -> "LinePopulation":
+        """One group per line (for small populations / validation)."""
+        r = np.asarray(list(rates), dtype=np.float64)
+        return cls(rates=r, counts=np.ones(len(r)))
+
+    @property
+    def total_lines(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def total_rate(self) -> float:
+        return float((self.rates * self.counts).sum())
+
+    def scaled(self, factor: float) -> "LinePopulation":
+        return LinePopulation(rates=self.rates * factor, counts=self.counts)
+
+    @staticmethod
+    def concat(populations: Sequence["LinePopulation"]) -> "LinePopulation":
+        return LinePopulation(
+            rates=np.concatenate([p.rates for p in populations]),
+            counts=np.concatenate([p.counts for p in populations]),
+        )
+
+
+def solve_characteristic_time(
+    population: LinePopulation, cache_lines: float, iterations: int = 80
+) -> float:
+    """Solve Che's fixed point for the characteristic time ``T``."""
+    if cache_lines <= 0:
+        return 0.0
+    mask = population.rates > 0
+    rates = population.rates[mask]
+    counts = population.counts[mask]
+    if counts.sum() <= cache_lines:
+        return np.inf
+
+    def occupancy(t: float) -> float:
+        return float((counts * -np.expm1(-rates * t)).sum())
+
+    low, high = 0.0, 1.0
+    while occupancy(high) < cache_lines:
+        high *= 2.0
+        if high > 1e18:
+            return np.inf
+    for _ in range(iterations):
+        mid = 0.5 * (low + high)
+        if occupancy(mid) < cache_lines:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def hit_rate(population: LinePopulation, cache_lines: float) -> float:
+    """Request-weighted LRU hit rate of one population in one cache."""
+    t = solve_characteristic_time(population, cache_lines)
+    if np.isinf(t):
+        return 1.0
+    hits = -np.expm1(-population.rates * t)
+    weight = population.total_rate
+    if weight <= 0:
+        return 0.0
+    return float((population.rates * population.counts * hits).sum() / weight)
+
+
+def che_hit_rates(
+    populations: Sequence[LinePopulation], cache_lines: float
+) -> Tuple[np.ndarray, float]:
+    """Per-tenant hit rates for tenants *sharing* one LRU cache.
+
+    One characteristic time is solved for the combined traffic; each
+    tenant's hit rate is then evaluated over its own lines.
+    """
+    if not populations:
+        raise ValueError("need at least one population")
+    combined = LinePopulation.concat(populations)
+    t = solve_characteristic_time(combined, cache_lines)
+    per_tenant: List[float] = []
+    for population in populations:
+        if np.isinf(t):
+            per_tenant.append(1.0 if population.total_rate > 0 else 0.0)
+            continue
+        hits = -np.expm1(-population.rates * t)
+        weight = population.total_rate
+        per_tenant.append(
+            float((population.rates * population.counts * hits).sum() / weight)
+            if weight > 0
+            else 0.0
+        )
+    if np.isinf(t):
+        aggregate = 1.0
+    else:
+        hits = -np.expm1(-combined.rates * t)
+        aggregate = float(
+            (combined.rates * combined.counts * hits).sum() / combined.total_rate
+        )
+    return np.array(per_tenant), aggregate
+
+
+def miss_traffic(population: LinePopulation, cache_lines: float) -> LinePopulation:
+    """The per-line *miss* traffic leaving a cache level.
+
+    This is what the next level down observes, enabling two-level
+    composition: ``l2_pop = miss_traffic(l1_pop, l1_lines)``.
+    """
+    t = solve_characteristic_time(population, cache_lines)
+    if np.isinf(t):
+        return LinePopulation(
+            rates=np.zeros_like(population.rates), counts=population.counts
+        )
+    hits = -np.expm1(-population.rates * t)
+    return LinePopulation(rates=population.rates * (1.0 - hits), counts=population.counts)

@@ -1,0 +1,194 @@
+"""Colocation experiments: the Figure 5a / 5b driver.
+
+For a focal NF colocated with a set of partner NFs, compute the IPC
+degradation S-NIC's isolation induces:
+
+* **baseline** — shared L2 at the same cotenancy (no partitioning) and
+  an FCFS bus whose queueing delay depends on everyone's traffic;
+* **isolated** — hard 1/N L2 partitioning (§4.2) plus temporal-partition
+  bus epochs (§4.5).
+
+Degradation = (IPC_baseline − IPC_isolated) / IPC_baseline.
+
+"For each experimental setting, we calculate the median IPC degradation
+of a function by running every possible colocation with other functions"
+(Figure 5 caption) — we enumerate all partner multisets when that space
+is small and a deterministic sample otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.perf.che import LinePopulation, che_hit_rates, hit_rate, miss_traffic
+from repro.perf.ipc import IPCModel, LevelCounts
+from repro.perf.workloads import LINE_BYTES, NF_ACCESS_MODELS
+
+KB = 1024
+MB = 1024 * KB
+
+DEFAULT_L1_BYTES = 32 * KB
+NF_NAMES = ("FW", "DPI", "NAT", "LB", "LPM", "Mon")
+
+#: Instruction rate used to convert per-instruction reference fractions
+#: into absolute DRAM traffic for the FCFS queueing term (1.2 GHz,
+#: CPI ≈ 0.8).
+INSTR_PER_NS = 1.5
+
+
+@dataclass
+class ColocationResult:
+    """Degradation statistics for one focal NF at one setting."""
+
+    nf: str
+    degradations: List[float]
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.degradations))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.degradations, q))
+
+
+@lru_cache(maxsize=64)
+def _l1_filtered(name: str, l1_lines: int) -> Tuple[LinePopulation, float]:
+    """(post-L1 miss population, L1 hit rate) for one NF; cached because
+    every colocation at a given L1 size reuses it."""
+    model = NF_ACCESS_MODELS[name]
+    population = model.population().scaled(model.mem_refs_per_instr)
+    l1_hit = hit_rate(population, l1_lines)
+    return miss_traffic(population, l1_lines), l1_hit
+
+
+def ipc_degradation(
+    focal: str,
+    partners: Sequence[str],
+    l2_bytes: int,
+    l1_bytes: int = DEFAULT_L1_BYTES,
+    ipc_model: Optional[IPCModel] = None,
+) -> float:
+    """IPC degradation (fraction) of ``focal`` colocated with ``partners``.
+
+    ``partners`` lists the co-resident NF names (the focal NF is added
+    automatically; total cotenancy = len(partners) + 1).
+    """
+    ipc_model = ipc_model or IPCModel()
+    tenants = [focal] + list(partners)
+    n = len(tenants)
+    l1_lines = l1_bytes // LINE_BYTES
+    l2_lines = l2_bytes // LINE_BYTES
+
+    filtered = [_l1_filtered(name, l1_lines) for name in tenants]
+    streams = [population for population, _ in filtered]
+    focal_population, focal_l1_hit = filtered[0]
+
+    # Baseline: one shared L2 over all tenants' miss traffic.
+    shared_hits, _ = che_hit_rates(streams, l2_lines)
+    # Isolated: each tenant gets an equal hard partition.
+    part_lines = max(1, l2_lines // n)
+    isolated_hit = hit_rate(focal_population, part_lines)
+
+    focal_model = NF_ACCESS_MODELS[focal]
+    refs = focal_model.mem_refs_per_instr
+    l1_miss = 1.0 - focal_l1_hit
+    counts_shared = LevelCounts(
+        l1_hits=focal_l1_hit,
+        l2_hits=l1_miss * float(shared_hits[0]),
+        dram=l1_miss * (1.0 - float(shared_hits[0])),
+    )
+    counts_isolated = LevelCounts(
+        l1_hits=focal_l1_hit,
+        l2_hits=l1_miss * isolated_hit,
+        dram=l1_miss * (1.0 - isolated_hit),
+    )
+
+    # Bus terms: FCFS queueing under the aggregate DRAM load (baseline)
+    # vs the deterministic temporal-partition window wait (isolated).
+    total_dram_per_ns = 0.0
+    for (population, l1_hit), name, hit in zip(filtered, tenants, shared_hits):
+        model = NF_ACCESS_MODELS[name]
+        dram_frac = (1.0 - l1_hit) * (1.0 - float(hit))
+        total_dram_per_ns += INSTR_PER_NS * model.mem_refs_per_instr * dram_frac
+    bus = ipc_model.bus
+    baseline_wait = bus.fcfs_wait_ns(total_dram_per_ns)
+    isolated_wait = bus.temporal_partition_wait_ns(n)
+
+    ipc_baseline = ipc_model.ipc(counts_shared, refs, baseline_wait)
+    ipc_isolated = ipc_model.ipc(counts_isolated, refs, isolated_wait)
+    return max(0.0, (ipc_baseline - ipc_isolated) / ipc_baseline)
+
+
+def _partner_sets(
+    focal: str, n_partners: int, max_sets: int = 36, seed: int = 11
+) -> List[Tuple[str, ...]]:
+    """Partner multisets for one focal NF.
+
+    All of them when the space is small; otherwise a deterministic
+    sample (the paper enumerates "every possible colocation", which is
+    only tractable at low cotenancy).
+    """
+    everything = list(
+        itertools.combinations_with_replacement(NF_NAMES, n_partners)
+    )
+    if len(everything) <= max_sets:
+        return everything
+    rng = random.Random(seed + sum(map(ord, focal)))
+    return rng.sample(everything, max_sets)
+
+
+def cache_size_sweep(
+    l2_sizes: Sequence[int],
+    cotenancy: int = 2,
+    focal_nfs: Sequence[str] = NF_NAMES,
+) -> Dict[str, List[ColocationResult]]:
+    """Figure 5a: degradation vs L2 size at fixed cotenancy (default 2)."""
+    out: Dict[str, List[ColocationResult]] = {}
+    for focal in focal_nfs:
+        series: List[ColocationResult] = []
+        for l2 in l2_sizes:
+            degradations = [
+                100.0 * ipc_degradation(focal, partners, l2)
+                for partners in _partner_sets(focal, cotenancy - 1)
+            ]
+            series.append(ColocationResult(nf=focal, degradations=degradations))
+        out[focal] = series
+    return out
+
+
+def cotenancy_sweep(
+    cotenancies: Sequence[int] = (2, 3, 4, 8, 16),
+    l2_bytes: int = 4 * MB,
+    focal_nfs: Sequence[str] = NF_NAMES,
+    max_sets: int = 24,
+) -> Dict[str, List[ColocationResult]]:
+    """Figure 5b: degradation vs cotenancy at a fixed 4 MB L2."""
+    out: Dict[str, List[ColocationResult]] = {}
+    for focal in focal_nfs:
+        series: List[ColocationResult] = []
+        for n in cotenancies:
+            degradations = [
+                100.0 * ipc_degradation(focal, partners, l2_bytes)
+                for partners in _partner_sets(focal, n - 1, max_sets=max_sets)
+            ]
+            series.append(ColocationResult(nf=focal, degradations=degradations))
+        out[focal] = series
+    return out
+
+
+def summary_across_nfs(
+    results: Dict[str, List[ColocationResult]], index: int
+) -> Dict[str, float]:
+    """The §5.3 aggregate: average of per-NF medians + worst p99."""
+    medians = [series[index].median for series in results.values()]
+    p99s = [series[index].percentile(99) for series in results.values()]
+    return {
+        "mean_of_medians_pct": float(np.mean(medians)),
+        "worst_p99_pct": float(np.max(p99s)),
+    }

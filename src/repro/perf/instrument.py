@@ -1,0 +1,222 @@
+"""White-box NF instrumentation: access streams from the *real* NFs.
+
+The Figure 5 models in :mod:`repro.perf.workloads` are declarative
+(region mixtures calibrated to the paper's medians).  This module
+derives access streams from the actual NF implementations instead: it
+runs each NF over a packet stream and records which entry of which data
+structure every packet touches — the flow-cache slot the firewall
+probes, the automaton states the DPI walk visits, the ``tbl24`` slot the
+LPM lookup indexes, and so on.
+
+Used to sanity-check the calibrated models (the recorded streams must
+show the same working-set ordering — FW/DPI/NAT heavy, LB/LPM light —
+and the same Zipf-head concentration) and available as an alternative
+stream source for the trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+LINE_BYTES = 64
+
+
+@dataclass
+class RegionLayout:
+    """Where a data structure lives in the recorded address space."""
+
+    name: str
+    base: int
+    entry_bytes: int
+    n_entries: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.entry_bytes * self.n_entries
+
+    def address(self, index: int) -> int:
+        return self.base + (index % self.n_entries) * self.entry_bytes
+
+
+@dataclass
+class AccessTrace:
+    """A recorded stream: (region, index) events plus layout metadata."""
+
+    nf_name: str
+    regions: Dict[str, RegionLayout]
+    events: List[Tuple[str, int]] = field(default_factory=list)
+
+    def record(self, region: str, index: int) -> None:
+        self.events.append((region, index))
+
+    def addresses(self) -> np.ndarray:
+        """The events as concrete byte addresses."""
+        out = np.empty(len(self.events), dtype=np.int64)
+        for i, (region, index) in enumerate(self.events):
+            out[i] = self.regions[region].address(index)
+        return out
+
+    def distinct_lines(self) -> int:
+        """Touched working set, in cache lines."""
+        return len({addr // LINE_BYTES for addr in self.addresses().tolist()})
+
+    def accesses_per_packet(self, n_packets: int) -> float:
+        return len(self.events) / n_packets if n_packets else 0.0
+
+    def head_concentration(self, head_lines: int = 512) -> float:
+        """Fraction of accesses landing on the ``head_lines`` hottest
+        lines — the Zipf-head metric the workload models encode."""
+        lines = (self.addresses() // LINE_BYTES).tolist()
+        if not lines:
+            return 0.0
+        counts: Dict[int, int] = {}
+        for line in lines:
+            counts[line] = counts.get(line, 0) + 1
+        hottest = sorted(counts.values(), reverse=True)[:head_lines]
+        return sum(hottest) / len(lines)
+
+
+def _layout(*regions: RegionLayout) -> Dict[str, RegionLayout]:
+    return {region.name: region for region in regions}
+
+
+def record_firewall(fw, packets: Sequence[Packet]) -> AccessTrace:
+    """Record the firewall: one flow-cache probe per packet, plus a rule
+    scan (sequential) on every cache miss."""
+    cache_entries = min(fw.cache_capacity, 200_000)
+    trace = AccessTrace(
+        nf_name="FW",
+        regions=_layout(
+            RegionLayout("flow-cache", 0, 48, cache_entries),
+            RegionLayout("rules", 1 << 30, 64, max(1, len(fw.rules))),
+        ),
+    )
+    for packet in packets:
+        key = packet.five_tuple
+        slot = hash(key) % cache_entries
+        trace.record("flow-cache", slot)
+        hits_before = fw.cache_hits
+        fw.process(packet)
+        if fw.cache_hits == hits_before:  # miss: the rule list was scanned
+            for rule_index in range(len(fw.rules)):
+                trace.record("rules", rule_index)
+    return trace
+
+
+def record_dpi(dpi, packets: Sequence[Packet]) -> AccessTrace:
+    """Record the DPI: every automaton state visited during the scan."""
+    automaton = dpi.automaton
+    trace = AccessTrace(
+        nf_name="DPI",
+        regions=_layout(RegionLayout("graph", 0, 64, automaton.n_states)),
+    )
+    for packet in packets:
+        state = 0
+        for byte in packet.payload:
+            state = automaton.step(state, byte)
+            trace.record("graph", state)
+        dpi.process(packet)
+    return trace
+
+
+def record_nat(nat, packets: Sequence[Packet]) -> AccessTrace:
+    """Record the NAT: forward-table probe + reverse-table touch."""
+    capacity = 65_536
+    trace = AccessTrace(
+        nf_name="NAT",
+        regions=_layout(
+            RegionLayout("forward", 0, 64, capacity),
+            RegionLayout("reverse", 1 << 30, 48, capacity),
+        ),
+    )
+    for packet in packets:
+        trace.record("forward", hash(packet.five_tuple) % capacity)
+        out = nat.process(packet)
+        if out is not None and hasattr(out.l4, "src_port"):
+            trace.record("reverse", out.l4.src_port % capacity)
+    return trace
+
+
+def record_lb(lb, packets: Sequence[Packet]) -> AccessTrace:
+    """Record Maglev: the lookup-table slot + connection-table probe."""
+    trace = AccessTrace(
+        nf_name="LB",
+        regions=_layout(
+            RegionLayout("maglev-table", 0, 2, lb.table_size),
+            RegionLayout("connections", 1 << 30, 48, 65_536),
+        ),
+    )
+    from repro.nf.loadbalancer import _hash64
+
+    for packet in packets:
+        ft = packet.five_tuple
+        key = str(ft.as_tuple()).encode()
+        trace.record("maglev-table", _hash64(key, b"maglev-lookup") % lb.table_size)
+        if lb.track_connections:
+            trace.record("connections", hash(ft) % 65_536)
+        lb.process(packet)
+    return trace
+
+
+def record_lpm(lpm, packets: Sequence[Packet]) -> AccessTrace:
+    """Record DIR-24-8: the tbl24 slot (and tbl8 when chained)."""
+    trace = AccessTrace(
+        nf_name="LPM",
+        regions=_layout(
+            RegionLayout("tbl24", 0, 2, 1 << 24),
+            RegionLayout("tbl8", 1 << 30, 2, max(1, lpm._tbl8_used * 256)),
+        ),
+    )
+    for packet in packets:
+        ip = packet.ip.dst_ip
+        slot = ip >> 8
+        trace.record("tbl24", slot)
+        entry = int(lpm.tbl24[slot])
+        if entry & 0x8000:
+            group = entry & 0x7FFF
+            trace.record("tbl8", group * 256 + (ip & 0xFF))
+        lpm.process(packet)
+    return trace
+
+
+def record_monitor(monitor, packets: Sequence[Packet]) -> AccessTrace:
+    """Record the Monitor: the hash-map slot probed per packet."""
+    trace = AccessTrace(
+        nf_name="Mon",
+        regions=_layout(RegionLayout("counters", 0, 56, 1 << 22)),
+    )
+    for packet in packets:
+        key = packet.five_tuple
+        # The live table's actual probe start (capacity is a power of 2).
+        trace.record("counters", hash(key) & (monitor.counts.capacity - 1))
+        monitor.process(packet)
+    return trace
+
+
+RECORDERS = {
+    "FW": record_firewall,
+    "DPI": record_dpi,
+    "NAT": record_nat,
+    "LB": record_lb,
+    "LPM": record_lpm,
+    "Mon": record_monitor,
+}
+
+
+def working_set_report(
+    traces: Iterable[AccessTrace], n_packets: int
+) -> Dict[str, Dict[str, float]]:
+    """Summary statistics per NF, for comparison against the models."""
+    report = {}
+    for trace in traces:
+        report[trace.nf_name] = {
+            "distinct_kb": trace.distinct_lines() * LINE_BYTES / 1024.0,
+            "accesses_per_packet": trace.accesses_per_packet(n_packets),
+            "head_concentration": trace.head_concentration(),
+        }
+    return report

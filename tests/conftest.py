@@ -1,0 +1,46 @@
+"""Shared fixtures for the S-NIC reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NFConfig, NICOS, SNIC
+from repro.core.vpp import VPPConfig
+from repro.net.packet import Packet
+from repro.net.rules import MatchRule, Prefix
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def snic():
+    """A small S-NIC with deterministic keys (fast to construct)."""
+    return SNIC(n_cores=4, dram_bytes=256 * MB, key_seed=1234)
+
+
+@pytest.fixture
+def nic_os(snic):
+    return NICOS(snic)
+
+
+@pytest.fixture
+def basic_config():
+    """A minimal single-core launch request."""
+    return NFConfig(
+        name="test-nf",
+        core_ids=(0,),
+        memory_bytes=4 * MB,
+        initial_image=b"\x90" * 1024,
+        vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("9.9.9.9/32"))]),
+    )
+
+
+@pytest.fixture
+def sample_packet():
+    return Packet.make(
+        src_ip="10.0.0.1",
+        dst_ip="9.9.9.9",
+        src_port=12345,
+        dst_port=80,
+        payload=b"payload-bytes",
+    )

@@ -1,0 +1,222 @@
+"""Tests for the ZIP (LZ77) and RAID (parity) accelerator payloads."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.compress import (
+    WINDOW_BYTES,
+    compression_ratio,
+    lz_compress,
+    lz_decompress,
+)
+from repro.accel.raid import (
+    gf_div,
+    gf_mul,
+    gf_pow,
+    raid5_parity,
+    raid5_reconstruct,
+    raid6_pq,
+    raid6_reconstruct_two,
+)
+
+
+class TestLZCompression:
+    def test_empty(self):
+        assert lz_decompress(lz_compress(b"")) == b""
+
+    def test_roundtrip_text(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 40
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_repetitive_data_compresses_well(self):
+        data = b"ABCD" * 4096
+        assert compression_ratio(data) < 0.05
+
+    def test_random_data_does_not_explode(self):
+        data = random.Random(1).randbytes(8192)
+        assert compression_ratio(data) < 1.05
+
+    def test_overlapping_match_rle(self):
+        # A run of one byte forces overlapping back-references.
+        data = b"\x07" * 10_000
+        blob = lz_compress(data)
+        assert lz_decompress(blob) == data
+        assert len(blob) < 100
+
+    def test_window_limits_matches(self):
+        # Identical blocks further apart than the window can't reference
+        # each other; a large window compresses better.
+        block = random.Random(2).randbytes(4096)
+        data = block + b"\x00" * 8192 + block
+        small = len(lz_compress(data, window=1024))
+        large = len(lz_compress(data, window=WINDOW_BYTES))
+        assert large < small
+
+    def test_decompress_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            lz_decompress(b"\x99\x00")
+
+    def test_decompress_rejects_bad_distance(self):
+        blob = bytes([0x01]) + (100).to_bytes(2, "big") + (4).to_bytes(2, "big")
+        with pytest.raises(ValueError):
+            lz_decompress(blob)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            lz_compress(b"x", window=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=4096))
+    def test_roundtrip_property(self, data):
+        assert lz_decompress(lz_compress(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.integers(2, 200))
+    def test_roundtrip_repeated_property(self, unit, count):
+        data = unit * count
+        assert lz_decompress(lz_compress(data)) == data
+
+
+class TestGF256:
+    def test_mul_identity_and_zero(self):
+        assert gf_mul(1, 77) == 77
+        assert gf_mul(0, 77) == 0
+
+    def test_mul_commutative(self):
+        for a, b in ((3, 7), (0x53, 0xCA), (255, 2)):
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_div_inverts_mul(self):
+        for a in (1, 2, 0x1D, 200, 255):
+            for b in (1, 3, 0x80, 254):
+                assert gf_div(gf_mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 8) == 0x1D  # x^8 reduced by 0x11D
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributive_property(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestRAID5:
+    def test_parity_roundtrip(self):
+        stripes = [bytes([i] * 16) for i in (1, 2, 3, 4)]
+        parity = raid5_parity(stripes)
+        rebuilt = raid5_reconstruct(stripes[:2] + stripes[3:], parity)
+        assert rebuilt == stripes[2]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            raid5_parity([b"xx", b"x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            raid5_parity([])
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.binary(min_size=8, max_size=8), min_size=2, max_size=8),
+        st.data(),
+    )
+    def test_any_single_failure_recoverable(self, stripes, data):
+        parity = raid5_parity(stripes)
+        lost = data.draw(st.integers(0, len(stripes) - 1))
+        survivors = stripes[:lost] + stripes[lost + 1 :]
+        assert raid5_reconstruct(survivors, parity) == stripes[lost]
+
+
+class TestRAID6:
+    def _stripes(self, seed=3, n=6, size=32):
+        rng = random.Random(seed)
+        return [rng.randbytes(size) for _ in range(n)]
+
+    def test_p_matches_raid5(self):
+        stripes = self._stripes()
+        p, _ = raid6_pq(stripes)
+        assert p == raid5_parity(stripes)
+
+    def test_double_failure_recovery(self):
+        stripes = self._stripes()
+        p, q = raid6_pq(stripes)
+        x, y = 1, 4
+        holey = [
+            None if i in (x, y) else s for i, s in enumerate(stripes)
+        ]
+        dx, dy = raid6_reconstruct_two(holey, (x, y), p, q)
+        assert dx == stripes[x]
+        assert dy == stripes[y]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_all_failure_pairs_recoverable(self, data):
+        stripes = self._stripes(seed=data.draw(st.integers(0, 1000)), n=5, size=16)
+        p, q = raid6_pq(stripes)
+        x = data.draw(st.integers(0, 3))
+        y = data.draw(st.integers(x + 1, 4))
+        holey = [None if i in (x, y) else s for i, s in enumerate(stripes)]
+        dx, dy = raid6_reconstruct_two(holey, (x, y), p, q)
+        assert (dx, dy) == (stripes[x], stripes[y])
+
+    def test_bad_missing_indices(self):
+        stripes = self._stripes(n=4)
+        p, q = raid6_pq(stripes)
+        with pytest.raises(ValueError):
+            raid6_reconstruct_two(stripes, (2, 2), p, q)
+
+    def test_unexpected_none_rejected(self):
+        stripes = self._stripes(n=4)
+        p, q = raid6_pq(stripes)
+        holey = [None, stripes[1], None, None]
+        with pytest.raises(ValueError):
+            raid6_reconstruct_two(holey, (0, 2), p, q)
+
+
+class TestAcceleratorIntegration:
+    def test_zip_cluster_runs_real_compression(self):
+        """A ZIP accelerator request carries an actual LZ77 job."""
+        from repro.core import NFConfig, NICOS, SNIC
+        from repro.hw.accelerator import AcceleratorKind
+
+        MB = 1024 * 1024
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=92)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="zipper", core_ids=(0,), memory_bytes=4 * MB,
+                     accelerators=((AcceleratorKind.ZIP, 1),))
+        )
+        payload = b"compress-me " * 512
+        request = vnic.accelerate(
+            AcceleratorKind.ZIP, len(payload),
+            work=lambda: lz_compress(payload),
+        )
+        assert lz_decompress(request.result) == payload
+        assert len(request.result) < len(payload) // 4
+
+    def test_raid_cluster_runs_real_parity(self):
+        from repro.core import NFConfig, NICOS, SNIC
+        from repro.hw.accelerator import AcceleratorKind
+
+        MB = 1024 * 1024
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=93)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="storage", core_ids=(0,), memory_bytes=4 * MB,
+                     accelerators=((AcceleratorKind.RAID, 1),))
+        )
+        stripes = [bytes([i] * 64) for i in range(4)]
+        request = vnic.accelerate(
+            AcceleratorKind.RAID, 256, work=lambda: raid6_pq(stripes)
+        )
+        p, q = request.result
+        assert p == raid5_parity(stripes)
+        assert len(q) == 64

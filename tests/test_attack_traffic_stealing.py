@@ -1,0 +1,105 @@
+"""Tests for attack 2b (traffic stealing) and parser robustness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.commodity.attacks import (
+    run_traffic_stealing_experiment,
+    traffic_stealing_attack,
+)
+from repro.commodity.liquidio import LiquidIONIC
+from repro.net.packet import Packet, ip_to_int
+from repro.nf.monitor import Monitor
+
+
+class TestTrafficStealing:
+    def test_attack_hijacks_all_victim_traffic(self):
+        result, victim_packets, attacker_packets = (
+            run_traffic_stealing_experiment()
+        )
+        assert result.succeeded
+        assert victim_packets == 0
+        assert attacker_packets == 10
+
+    def test_without_attack_victim_receives(self):
+        nic = LiquidIONIC(mode="SE-S", n_cores=2)
+        victim = nic.install_function(Monitor(), core_id=0)
+        nic.configure_switch_rule(
+            0, dst_ip=ip_to_int("10.0.0.0"), dst_mask=0xFF000000,
+            nf_id=victim.nf_id,
+        )
+        assert nic.receive_from_wire(
+            Packet.make("9.9.9.9", "10.1.2.3")
+        ) == victim.nf_id
+        assert len(victim.packet_buffers) == 1
+
+    def test_unmatched_traffic_dropped(self):
+        nic = LiquidIONIC(mode="SE-S", n_cores=2)
+        victim = nic.install_function(Monitor(), core_id=0)
+        nic.configure_switch_rule(
+            0, dst_ip=ip_to_int("10.0.0.0"), dst_mask=0xFF000000,
+            nf_id=victim.nf_id,
+        )
+        assert nic.receive_from_wire(Packet.make("9.9.9.9", "11.0.0.1")) is None
+
+    def test_attack_without_matching_rules_fails(self):
+        nic = LiquidIONIC(mode="SE-S", n_cores=2)
+        victim = nic.install_function(Monitor(), core_id=0)
+        attacker = nic.install_function(Monitor(), core_id=1)
+        result = traffic_stealing_attack(
+            nic, victim_nf_id=999,  # no rules point at this id
+            attacker_nf_id=attacker.nf_id, attacker_core_id=1,
+        )
+        assert not result.succeeded
+
+    def test_snic_rules_not_rewritable(self):
+        """The S-NIC counterpart: switching rules live inside the
+        owner's denylisted extent, and their content is covered by the
+        launch hash — tampering is blocked *and* detectable."""
+        from repro.core import IsolationViolation, NFConfig, NICOS, SNIC
+        from repro.core.vpp import VPPConfig
+        from repro.net.rules import MatchRule, Prefix
+
+        MB = 1024 * 1024
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=110)
+        nic_os = NICOS(snic)
+        victim = nic_os.NF_create(
+            NFConfig(
+                name="victim", core_ids=(0,), memory_bytes=4 * MB,
+                vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("10.0.0.0/8"))]),
+            )
+        )
+        attacker = nic_os.NF_create(
+            NFConfig(name="attacker", core_ids=(1,), memory_bytes=4 * MB)
+        )
+        # The rules blob lives in the victim's extent: the OS (and any
+        # other function) is denylisted away from it.
+        record = snic.record(victim.nf_id)
+        with pytest.raises(IsolationViolation):
+            nic_os.os_write(record.extent_base + record.extent_bytes - 4096,
+                            b"\x00" * 16)
+
+
+class TestParserRobustness:
+    @settings(max_examples=80)
+    @given(st.binary(max_size=200))
+    def test_from_bytes_never_crashes_unexpectedly(self, blob):
+        """Arbitrary wire bytes either parse or raise ValueError-family
+        errors — never IndexError/KeyError/struct.error escapes."""
+        import struct as struct_mod
+
+        try:
+            Packet.from_bytes(blob)
+        except (ValueError, struct_mod.error):
+            pass
+
+    @settings(max_examples=40)
+    @given(st.binary(max_size=120))
+    def test_reparse_of_valid_frame_with_garbage_tail(self, tail):
+        """A valid frame followed by trailing garbage still parses to
+        the same packet (total_length bounds the payload)."""
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=1, dst_port=2,
+                             payload=b"xy")
+        parsed = Packet.from_bytes(packet.to_bytes() + tail)
+        assert parsed.five_tuple == packet.five_tuple
+        assert parsed.payload == b"xy"

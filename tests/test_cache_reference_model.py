@@ -1,0 +1,94 @@
+"""Model-checking the cache simulator against a reference LRU.
+
+The cache model underpins both the side-channel results and Figure 5,
+so we verify it against an independent, obviously-correct reference
+implementation (an OrderedDict per set) under randomized access
+sequences — shared mode exactly, and partitioned mode against a
+per-owner reference.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import Cache, CacheConfig, HARD
+
+
+class ReferenceLRU:
+    """Trivially-correct set-associative LRU cache."""
+
+    def __init__(self, n_sets: int, ways: int, line: int) -> None:
+        self.n_sets = n_sets
+        self.ways = ways
+        self.line = line
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def access(self, addr: int) -> bool:
+        line_addr = addr // self.line
+        index = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        lru = self.sets[index]
+        if tag in lru:
+            lru.move_to_end(tag)
+            return True
+        if len(lru) >= self.ways:
+            lru.popitem(last=False)
+        lru[tag] = None
+        return False
+
+
+ADDRESSES = st.lists(
+    st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=400
+)
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(ADDRESSES)
+    def test_shared_mode_matches_reference(self, addresses):
+        config = CacheConfig(size_bytes=4096, line_bytes=64, ways=4)
+        cache = Cache(config)
+        reference = ReferenceLRU(config.n_sets, config.ways, config.line_bytes)
+        for addr in addresses:
+            assert cache.access(addr, owner=1) == reference.access(addr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ADDRESSES, ADDRESSES)
+    def test_hard_partition_matches_per_owner_references(self, a_addrs, b_addrs):
+        """With hard partitioning, each owner must behave exactly like a
+        private cache of its partition size — total isolation."""
+        config = CacheConfig(size_bytes=4096, line_bytes=64, ways=4)
+        cache = Cache(config)
+        cache.set_partitions({1: 2, 2: 2}, mode=HARD)
+        ref_a = ReferenceLRU(config.n_sets, 2, config.line_bytes)
+        ref_b = ReferenceLRU(config.n_sets, 2, config.line_bytes)
+        # Interleave the two owners' accesses.
+        for i in range(max(len(a_addrs), len(b_addrs))):
+            if i < len(a_addrs):
+                assert cache.access(a_addrs[i], owner=1) == ref_a.access(a_addrs[i])
+            if i < len(b_addrs):
+                assert cache.access(b_addrs[i], owner=2) == ref_b.access(b_addrs[i])
+
+    @settings(max_examples=30, deadline=None)
+    @given(ADDRESSES)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        config = CacheConfig(size_bytes=4096, line_bytes=64, ways=4)
+        cache = Cache(config)
+        for addr in addresses:
+            cache.access(addr, owner=1)
+        assert cache.occupancy(1) <= config.n_sets * config.ways
+
+    @settings(max_examples=30, deadline=None)
+    @given(ADDRESSES, ADDRESSES)
+    def test_partition_victim_occupancy_invariant(self, a_addrs, b_addrs):
+        """Neither owner can ever hold more lines than its partition."""
+        config = CacheConfig(size_bytes=4096, line_bytes=64, ways=4)
+        cache = Cache(config)
+        cache.set_partitions({1: 1, 2: 3}, mode=HARD)
+        for addr in a_addrs:
+            cache.access(addr, owner=1)
+        for addr in b_addrs:
+            cache.access(addr, owner=2)
+        assert cache.occupancy(1) <= config.n_sets * 1
+        assert cache.occupancy(2) <= config.n_sets * 3

@@ -1,0 +1,195 @@
+"""Tests for commodity NIC models: LiquidIO, Agilio, BlueField."""
+
+import pytest
+
+from repro.commodity.agilio import AgilioNIC, ISLAND_SRAM_BYTES
+from repro.commodity.bluefield import BlueFieldNIC, TrustZoneWorld
+from repro.commodity.liquidio import (
+    LiquidIONIC,
+    SE_S,
+    SE_UM,
+    XKPHYS_BASE,
+    XUSEG_BASE,
+)
+from repro.hw.bus import BusCrashed
+from repro.hw.memory import AccessFault
+from repro.net.packet import Packet
+from repro.nf.monitor import Monitor
+
+
+class TestLiquidIOSegments:
+    def test_se_s_xkphys_reads_physical(self):
+        nic = LiquidIONIC(mode=SE_S, n_cores=2)
+        nic.memory.write(0x5000, b"raw-bytes")
+        assert nic.cores[0].xkphys_read(0x5000, 9) == b"raw-bytes"
+
+    def test_se_s_xkphys_writes_physical(self):
+        nic = LiquidIONIC(mode=SE_S, n_cores=2)
+        nic.cores[1].xkphys_write(0x6000, b"attacker")
+        assert nic.memory.read(0x6000, 8) == b"attacker"
+
+    def test_se_um_can_disable_xkphys(self):
+        nic = LiquidIONIC(mode=SE_UM, n_cores=2, xkphys_for_functions=False)
+        with pytest.raises(AccessFault):
+            nic.cores[0].xkphys_read(0, 8)
+
+    def test_se_um_with_xkphys_enabled(self):
+        nic = LiquidIONIC(mode=SE_UM, n_cores=2, xkphys_for_functions=True)
+        nic.memory.write(0x100, b"x")
+        assert nic.cores[0].xkphys_read(0x100, 1) == b"x"
+
+    def test_xuseg_goes_through_tlb(self):
+        nic = LiquidIONIC(mode=SE_S, n_cores=2)
+        installed = nic.install_function(Monitor(), core_id=0)
+        core = nic.cores[0]
+        core.write_virtual(XUSEG_BASE + 10, b"nf-state")
+        assert (
+            nic.memory.read(installed.xuseg_phys_base + 10, 8) == b"nf-state"
+        )
+
+    def test_xkseg_requires_privilege(self):
+        nic = LiquidIONIC(mode=SE_UM, n_cores=1)  # SE-UM: user mode
+        from repro.commodity.liquidio import XKSEG_BASE
+
+        with pytest.raises(AccessFault):
+            nic.cores[0].read_virtual(XKSEG_BASE, 8)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LiquidIONIC(mode="SE-X")
+
+
+class TestLiquidIOFunctions:
+    def test_install_binds_core(self):
+        nic = LiquidIONIC(n_cores=2)
+        installed = nic.install_function(Monitor(), core_id=0)
+        assert nic.cores[0].nf_id == installed.nf_id
+        with pytest.raises(AccessFault):
+            nic.install_function(Monitor(), core_id=0)
+
+    def test_packet_delivery_and_run(self):
+        nic = LiquidIONIC(n_cores=2)
+        mon = Monitor()
+        installed = nic.install_function(mon, core_id=0)
+        p = Packet.make("1.1.1.1", "2.2.2.2", src_port=7, dst_port=8)
+        nic.deliver_packet(installed.nf_id, p)
+        outputs = nic.run_function_on_buffers(installed.nf_id)
+        assert len(outputs) == 1
+        assert mon.distinct_flows == 1
+
+    def test_allocator_metadata_is_world_readable(self):
+        """The root weakness: buffer records live at a well-known
+        physical address readable through any core's xkphys."""
+        nic = LiquidIONIC(n_cores=2)
+        installed = nic.install_function(Monitor(), core_id=0)
+        addr = nic.deliver_packet(
+            installed.nf_id, Packet.make("1.1.1.1", "2.2.2.2")
+        )
+        records = nic.allocator.records()
+        assert (installed.nf_id, addr, len(Packet.make("1.1.1.1", "2.2.2.2").to_bytes())) in records
+
+    def test_store_function_data_discoverable(self):
+        nic = LiquidIONIC(n_cores=2)
+        installed = nic.install_function(Monitor(), core_id=0)
+        addr = nic.store_function_data(installed.nf_id, b"ruleset")
+        assert nic.cores[1].xkphys_read(addr, 7) == b"ruleset"
+
+
+class TestAgilio:
+    def test_island_sram_readable_by_anyone(self):
+        nic = AgilioNIC()
+        nic.island_sram_write(0, 0, b"island-private?")
+        # Any caller reads any island's SRAM — no access control.
+        assert nic.island_sram_read(0, 0, 15) == b"island-private?"
+
+    def test_island_sram_bounds(self):
+        nic = AgilioNIC()
+        with pytest.raises(ValueError):
+            nic.island_sram_write(0, ISLAND_SRAM_BYTES - 4, b"too-long")
+
+    def test_crypto_contention_observable(self):
+        quiet = AgilioNIC()
+        baseline = quiet.crypto_op(owner=2, n_bytes=100, now_ns=0.0)
+        noisy = AgilioNIC()
+        for _ in range(20):
+            noisy.crypto_op(owner=1, n_bytes=50_000, now_ns=0.0)
+        contended = noisy.crypto_op(owner=2, n_bytes=100, now_ns=0.0)
+        assert contended > baseline
+
+    def test_bus_dos_crashes(self):
+        nic = AgilioNIC()
+        with pytest.raises(BusCrashed):
+            nic.semaphore_decrement_loop(owner=666, iterations=100_000)
+        assert nic.crashed
+
+    def test_crashed_nic_rejects_everything(self):
+        nic = AgilioNIC()
+        with pytest.raises(BusCrashed):
+            nic.semaphore_decrement_loop(owner=666, iterations=100_000)
+        with pytest.raises(BusCrashed):
+            nic.raw_read(0, 4)
+
+    def test_power_cycle_recovers(self):
+        nic = AgilioNIC()
+        with pytest.raises(BusCrashed):
+            nic.semaphore_decrement_loop(owner=666, iterations=100_000)
+        nic.power_cycle()
+        nic.raw_read(0, 4)  # alive again
+        assert not nic.crashed
+
+
+class TestBlueField:
+    def test_normal_world_blocked_from_secure(self):
+        nic = BlueFieldNIC()
+        with pytest.raises(AccessFault):
+            nic.read(TrustZoneWorld.NORMAL, 0, 4)
+
+    def test_secure_world_reads_everything(self):
+        nic = BlueFieldNIC()
+        nic.write(TrustZoneWorld.SECURE, 0, b"sec")
+        assert nic.read(TrustZoneWorld.SECURE, 0, 3) == b"sec"
+
+    def test_normal_world_has_its_region(self):
+        nic = BlueFieldNIC(dram_bytes=1024 * 1024, secure_fraction=0.5)
+        nic.write(TrustZoneWorld.NORMAL, 600 * 1024, b"norm")
+        assert nic.read(TrustZoneWorld.NORMAL, 600 * 1024, 4) == b"norm"
+
+    def test_only_secure_world_moves_boundary(self):
+        nic = BlueFieldNIC()
+        with pytest.raises(AccessFault):
+            nic.set_secure_boundary(TrustZoneWorld.NORMAL, 0)
+        nic.set_secure_boundary(TrustZoneWorld.SECURE, 1024)
+        nic.read(TrustZoneWorld.NORMAL, 2048, 4)  # now normal memory
+
+    def test_trustlet_protected_from_normal_world(self):
+        nic = BlueFieldNIC()
+        t = nic.install_trustlet(4096)
+        nic.trustlet_write(t, 0, b"keys")
+        with pytest.raises(AccessFault):
+            nic.read(TrustZoneWorld.NORMAL, t.state_base, 4)
+
+    def test_secure_os_reads_trustlet_state(self):
+        """The paper's criticism: no protection from the secure OS."""
+        nic = BlueFieldNIC()
+        t = nic.install_trustlet(4096)
+        nic.trustlet_write(t, 0, b"tls-private-key")
+        leaked = nic.secure_os_read_trustlet(t.trustlet_id)
+        assert leaked.startswith(b"tls-private-key")
+
+    def test_trustlet_write_bounds(self):
+        nic = BlueFieldNIC()
+        t = nic.install_trustlet(16)
+        with pytest.raises(AccessFault):
+            nic.trustlet_write(t, 10, b"too-long")
+
+    def test_cross_world_cache_side_channel(self):
+        """The shared L2 is not world-partitioned: a normal-world prober
+        observes secure-world residency."""
+        nic = BlueFieldNIC()
+        nic.touch_cache(world_owner=1, addr=0x1234)  # secure-world access
+        assert nic.touch_cache(world_owner=2, addr=0x1234)  # prober hits
+
+    def test_secure_region_exhaustion(self):
+        nic = BlueFieldNIC(dram_bytes=1024 * 1024, secure_fraction=0.01)
+        with pytest.raises(MemoryError):
+            nic.install_trustlet(1024 * 1024)

@@ -1,0 +1,73 @@
+"""End-to-end tests for the three §3.3 attacks on commodity NICs."""
+
+import pytest
+
+from repro.commodity.agilio import AgilioNIC
+from repro.commodity.attacks import (
+    bus_dos_attack,
+    dpi_ruleset_stealing_attack,
+    packet_corruption_attack,
+    run_dpi_stealing_experiment,
+    run_packet_corruption_experiment,
+)
+from repro.commodity.liquidio import LiquidIONIC
+from repro.nf.monitor import Monitor
+
+
+class TestPacketCorruption:
+    def test_attack_succeeds_on_liquidio(self):
+        result, clean, attacked = run_packet_corruption_experiment(n_packets=8)
+        assert result.succeeded
+        assert clean == 8
+        # The corrupted source addresses no longer match the NAT's
+        # internal prefix: translations collapse.
+        assert attacked < clean
+
+    def test_attack_reports_buffers(self):
+        result, _, _ = run_packet_corruption_experiment(n_packets=4)
+        assert len(result.evidence) == 4
+
+    def test_attack_without_victim_buffers(self):
+        nic = LiquidIONIC(n_cores=2)
+        nic.install_function(Monitor(), core_id=0)
+        result = packet_corruption_attack(nic, victim_nf_id=1, attacker_core_id=1)
+        assert not result.succeeded
+
+
+class TestDPIStealing:
+    def test_ruleset_recovered_exactly(self):
+        result, original = run_dpi_stealing_experiment(ruleset=b"RULES" * 100)
+        assert result.succeeded
+        assert result.evidence[0] == b"RULES" * 100
+
+    def test_attack_on_fresh_victim_finds_nothing(self):
+        nic = LiquidIONIC(n_cores=2)
+        victim = nic.install_function(Monitor(), core_id=0)
+        result = dpi_ruleset_stealing_attack(
+            nic, victim_nf_id=victim.nf_id, attacker_core_id=1
+        )
+        assert not result.succeeded
+
+    def test_attacker_only_steals_victim_buffers(self):
+        nic = LiquidIONIC(n_cores=3)
+        victim = nic.install_function(Monitor(), core_id=0)
+        bystander = nic.install_function(Monitor(), core_id=1)
+        nic.store_function_data(victim.nf_id, b"victim-data")
+        nic.store_function_data(bystander.nf_id, b"bystander")
+        result = dpi_ruleset_stealing_attack(
+            nic, victim_nf_id=victim.nf_id, attacker_core_id=2
+        )
+        assert result.evidence == [b"victim-data"]
+
+
+class TestBusDoS:
+    def test_dos_crashes_agilio(self):
+        result = bus_dos_attack(AgilioNIC())
+        assert result.succeeded
+        assert "hard-crashed" in result.details
+
+    def test_gentle_traffic_survives(self):
+        nic = AgilioNIC()
+        result = bus_dos_attack(nic, max_iterations=10)
+        assert not result.succeeded
+        assert not nic.crashed

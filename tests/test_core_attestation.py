@@ -1,0 +1,145 @@
+"""Tests for remote attestation (§4.7, Appendix A)."""
+
+import pytest
+
+from repro.core import (
+    AttestationError,
+    NFConfig,
+    NICOS,
+    SNIC,
+    Verifier,
+)
+from repro.crypto.dh import DHParams
+from repro.crypto.sha256 import sha256
+
+MB = 1024 * 1024
+
+#: Small DH group keeps tests fast (the default RFC 3526 group also
+#: works, just slower).
+SMALL_DH = DHParams(g=2, p=0xFFFFFFFB)
+
+
+@pytest.fixture
+def snic():
+    return SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=99)
+
+
+@pytest.fixture
+def vnic(snic):
+    nic_os = NICOS(snic)
+    return nic_os.NF_create(
+        NFConfig(
+            name="attested",
+            core_ids=(0,),
+            memory_bytes=4 * MB,
+            initial_image=b"known-good-image",
+        )
+    )
+
+
+class TestProtocol:
+    def test_full_exchange_establishes_shared_key(self, snic, vnic):
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        nonce = verifier.hello()
+        session = vnic.attest(nonce, params=SMALL_DH)
+        gy, verifier_key = verifier.complete_exchange(
+            session.quote, expected_state_hash=vnic.state_hash
+        )
+        assert session.session_key(gy) == verifier_key
+
+    def test_quote_carries_state_hash(self, snic, vnic):
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        assert session.quote.state_hash == vnic.state_hash
+
+    def test_verify_without_expected_hash(self, snic, vnic):
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        verifier.verify(session.quote)  # identity-only check passes
+
+    def test_wrong_expected_hash_rejected(self, snic, vnic):
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        with pytest.raises(AttestationError, match="state hash"):
+            verifier.verify(session.quote, expected_state_hash=sha256(b"evil"))
+
+    def test_unknown_nonce_rejected(self, snic, vnic):
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        session = vnic.attest(b"\x00" * 16, params=SMALL_DH)
+        with pytest.raises(AttestationError, match="nonce"):
+            verifier.verify(session.quote)
+
+    def test_replay_rejected(self, snic, vnic):
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        nonce = verifier.hello()
+        session = vnic.attest(nonce, params=SMALL_DH)
+        verifier.verify(session.quote, expected_state_hash=vnic.state_hash)
+        with pytest.raises(AttestationError, match="nonce"):
+            verifier.verify(session.quote)
+
+    def test_forged_signature_rejected(self, snic, vnic):
+        from dataclasses import replace
+
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        forged = replace(
+            session.quote, signature=bytes(len(session.quote.signature))
+        )
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify(forged)
+
+    def test_tampered_gx_rejected(self, snic, vnic):
+        """A MITM replacing the DH share invalidates the signature —
+        the property that binds the channel to the attested identity."""
+        from dataclasses import replace
+
+        verifier = Verifier(snic.vendor_ca.public_key, seed=1)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        tampered = replace(session.quote, gx=session.quote.gx ^ 1)
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify(tampered)
+
+    def test_wrong_vendor_ca_rejected(self, snic, vnic):
+        from repro.crypto.keys import VendorCA
+
+        rogue = VendorCA(key_bits=512, seed=555)
+        verifier = Verifier(rogue.public_key, seed=1)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        with pytest.raises(AttestationError, match="vendor"):
+            verifier.verify(session.quote)
+
+    def test_unknown_function_cannot_attest(self, snic):
+        from repro.core.errors import TeardownError
+
+        with pytest.raises(TeardownError):
+            snic.nf_attest(12345, b"\x00" * 16, params=SMALL_DH)
+
+
+class TestMaliciousOSDetectability:
+    def test_improper_setup_changes_hash(self):
+        """§4.8: a buggy/malicious NIC OS that omits or alters state at
+        launch produces a different hash, so remote clients detect it."""
+        proper = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=99)
+        tampered = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=99)
+        good = NFConfig(
+            name="f", core_ids=(0,), memory_bytes=4 * MB,
+            initial_image=b"full-image-with-all-pages",
+        )
+        bad = NFConfig(
+            name="f", core_ids=(0,), memory_bytes=4 * MB,
+            initial_image=b"full-image-with-all",  # a page "omitted"
+        )
+        h_good = proper.record(proper.nf_launch(good)).state_hash
+        h_bad = tampered.record(tampered.nf_launch(bad)).state_hash
+        assert h_good != h_bad
+
+    def test_two_nics_same_image_same_hash_different_keys(self):
+        a = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=1, device_id="nic-a")
+        b = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=2, device_id="nic-b")
+        cfg = NFConfig(
+            name="f", core_ids=(0,), memory_bytes=4 * MB, initial_image=b"img"
+        )
+        ha = a.record(a.nf_launch(cfg)).state_hash
+        hb = b.record(b.nf_launch(cfg)).state_hash
+        assert ha == hb  # same logical function...
+        assert a.ak.public != b.ak.public  # ...different signing identity

@@ -1,0 +1,132 @@
+"""Tests for secure constellations (§4.7, Figure 4b)."""
+
+import pytest
+
+from repro.core import (
+    AttestationError,
+    Constellation,
+    NFConfig,
+    NICOS,
+    PCIeTap,
+    SGXEnclave,
+    SNIC,
+)
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def snic():
+    return SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=3)
+
+
+@pytest.fixture
+def vnic(snic):
+    return NICOS(snic).NF_create(
+        NFConfig(name="fn", core_ids=(0,), memory_bytes=4 * MB,
+                 initial_image=b"tls-middlebox")
+    )
+
+
+class TestSGXEnclave:
+    def test_measurement_is_code_hash(self):
+        from repro.crypto.sha256 import sha256
+
+        enclave = SGXEnclave("db", b"code", VendorCA_for_test(), seed=1)
+        assert enclave.measurement == sha256(b"code")
+
+    def test_seal_unseal(self):
+        enclave = SGXEnclave("db", b"code", VendorCA_for_test(), seed=1)
+        enclave.seal("key", b"private")
+        assert enclave.unseal("key") == b"private"
+
+    def test_host_os_sees_no_plaintext(self):
+        enclave = SGXEnclave("db", b"code", VendorCA_for_test(), seed=1)
+        enclave.seal("key", b"private")
+        view = enclave.host_os_view()
+        assert view["key"] != b"private"
+        assert len(view["key"]) == 32  # opaque digest
+
+
+def VendorCA_for_test():
+    from repro.crypto.keys import VendorCA
+
+    return VendorCA(key_bits=512, seed=77)
+
+
+class TestConstellation:
+    def _constellation(self, snic, vnic):
+        c = Constellation(snic.vendor_ca, sgx_service_ca=VendorCA_for_test(), seed=5)
+        enclave = SGXEnclave(
+            "db", b"db-code", c.sgx_service_ca, seed=9
+        )
+        c.add_function("fn", vnic)
+        c.add_enclave("db", enclave)
+        return c, enclave
+
+    def test_link_establishes_channel(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        channel = c.link("fn", "db")
+        assert channel.established
+
+    def test_send_round_trip(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        c.link("fn", "db")
+        assert c.send("fn", "db", b"flow-keys") == b"flow-keys"
+
+    def test_tap_sees_only_ciphertext(self, snic, vnic):
+        """The datacenter operator snooping on the NIC/host bus (threat
+        model §2) captures bytes that differ from the plaintext."""
+        c, _ = self._constellation(snic, vnic)
+        c.link("fn", "db")
+        c.send("fn", "db", b"super-secret-session-keys")
+        (src, dst, wire), = c.tap.captured
+        assert (src, dst) == ("fn", "db")
+        assert wire != b"super-secret-session-keys"
+        assert len(wire) == len(b"super-secret-session-keys")
+
+    def test_send_without_link_rejected(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        with pytest.raises(AttestationError, match="channel"):
+            c.send("fn", "db", b"data")
+
+    def test_link_unknown_node_rejected(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        with pytest.raises(KeyError):
+            c.link("fn", "ghost")
+
+    def test_channel_is_bidirectional(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        c.link("fn", "db")
+        assert c.send("db", "fn", b"reply") == b"reply"
+
+    def test_messages_use_distinct_nonces(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        c.link("fn", "db")
+        c.send("fn", "db", b"same-bytes")
+        c.send("fn", "db", b"same-bytes")
+        wires = [w for _, _, w in c.tap.captured]
+        assert wires[0] != wires[1]
+
+    def test_substituted_enclave_fails_attestation(self, snic, vnic):
+        """A malicious operator swapping the enclave for a lookalike
+        with different code fails the expected-measurement check."""
+        c = Constellation(snic.vendor_ca, sgx_service_ca=VendorCA_for_test(), seed=5)
+        genuine = SGXEnclave("db", b"db-code", c.sgx_service_ca, seed=9)
+        c.add_function("fn", vnic)
+        c.add_enclave("db", genuine)
+        # The operator swaps in a trojaned enclave behind the same name.
+        trojan = SGXEnclave("db", b"evil-code", c.sgx_service_ca, seed=10)
+        c._nodes["db"] = trojan
+        with pytest.raises(AttestationError):
+            c.link("fn", "db")
+
+    def test_three_node_constellation(self, snic, vnic):
+        c, _ = self._constellation(snic, vnic)
+        other = SGXEnclave("cache", b"cache-code", c.sgx_service_ca, seed=11)
+        c.add_enclave("cache", other)
+        c.link("fn", "db")
+        c.link("fn", "cache")
+        c.link("db", "cache")
+        assert c.send("db", "cache", b"x") == b"x"
+        assert len(c.channels) == 6  # three links, both directions

@@ -1,0 +1,270 @@
+"""Isolation property tests: the S-NIC analogues of the §3.3 attacks.
+
+Every attack that succeeds on the commodity models must be structurally
+impossible here — blocked by locked TLBs, memory denylisting, cluster
+ownership, hard cache partitions, and temporal bus partitioning.
+"""
+
+import pytest
+
+from repro.core import (
+    IsolationViolation,
+    NFConfig,
+    NICOS,
+    SNIC,
+)
+from repro.core.vpp import VPPConfig
+from repro.hw.accelerator import AcceleratorKind, AcceleratorRequest
+from repro.hw.memory import AccessFault
+from repro.hw.mmu import TLBLockedError
+from repro.net.packet import Packet
+from repro.net.rules import MatchRule, Prefix
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def snic():
+    return SNIC(n_cores=4, dram_bytes=256 * MB, key_seed=7)
+
+
+@pytest.fixture
+def nic_os(snic):
+    return NICOS(snic)
+
+
+def launch(nic_os, name, cores, **kwargs):
+    return nic_os.NF_create(
+        NFConfig(name=name, core_ids=cores, memory_bytes=4 * MB, **kwargs)
+    )
+
+
+class TestManagementCoreBlocked:
+    def test_os_cannot_read_function_pages(self, nic_os):
+        vnic = launch(nic_os, "victim", (0,), initial_image=b"SECRET")
+        with pytest.raises(IsolationViolation):
+            nic_os.attempt_function_state_read(vnic.nf_id)
+
+    def test_os_cannot_write_function_pages(self, nic_os):
+        vnic = launch(nic_os, "victim", (0,))
+        base = nic_os.snic.record(vnic.nf_id).extent_base
+        with pytest.raises(IsolationViolation):
+            nic_os.os_write(base, b"tamper")
+
+    def test_os_cannot_map_function_pages(self, nic_os):
+        """§4.2: the trusted hardware walks the denylist on every
+        attempted TLB install by the management core."""
+        vnic = launch(nic_os, "victim", (0,))
+        page = nic_os.snic.record(vnic.nf_id).pages[0]
+        with pytest.raises(IsolationViolation):
+            nic_os.try_install_mapping(vpage=100, ppage=page)
+
+    def test_os_can_map_its_own_pages(self, nic_os):
+        nic_os.try_install_mapping(vpage=100, ppage=0)  # NIC OS page: fine
+
+    def test_os_reads_own_and_free_memory(self, nic_os):
+        launch(nic_os, "victim", (0,))
+        nic_os.os_read(0, 64)  # NIC OS region still accessible
+
+    def test_metadata_scan_finds_no_function_pages(self, nic_os):
+        """The S-NIC analogue of the LiquidIO allocator-metadata walk:
+        a full scan only ever reaches OS/free pages."""
+        vnic = launch(nic_os, "victim", (0,), initial_image=b"RULESET")
+        readable = nic_os.scan_for_foreign_buffers(
+            scan_pages=nic_os.snic.memory.n_pages
+        )
+        function_pages = set(nic_os.snic.record(vnic.nf_id).pages)
+        assert function_pages.isdisjoint(readable)
+
+    def test_os_regains_access_after_teardown(self, nic_os):
+        vnic = launch(nic_os, "victim", (0,), initial_image=b"SECRET")
+        base = nic_os.snic.record(vnic.nf_id).extent_base
+        nic_os.NF_destroy(vnic.nf_id)
+        # Accessible again — but scrubbed to zeros.
+        assert nic_os.os_read(base, 6) == b"\x00" * 6
+
+
+class TestCrossFunctionBlocked:
+    def test_function_cannot_reach_other_functions_memory(self, nic_os):
+        victim = launch(nic_os, "victim", (0,), initial_image=b"SECRET")
+        attacker = launch(nic_os, "attacker", (1,))
+        # The attacker's virtual address space simply has no mapping
+        # beyond its own extent: the packet-corruption scan is impossible.
+        with pytest.raises(IsolationViolation):
+            attacker.read(attacker.memory_bytes + 4096, 16)
+
+    def test_attacker_tlb_covers_only_own_extent(self, nic_os):
+        victim = launch(nic_os, "victim", (0,))
+        attacker = launch(nic_os, "attacker", (1,))
+        snic = nic_os.snic
+        attacker_pages = snic.cores[1].tlb.physical_pages(snic.memory.page_size)
+        victim_pages = set(snic.record(victim.nf_id).pages)
+        assert attacker_pages.isdisjoint(victim_pages)
+
+    def test_locked_tlb_rejects_new_mappings(self, nic_os):
+        launch(nic_os, "victim", (0,))
+        from repro.hw.mmu import TLBEntry
+
+        with pytest.raises(TLBLockedError):
+            nic_os.snic.cores[0].tlb.install(
+                TLBEntry(vbase=1 << 30, pbase=0, size=2 * MB)
+            )
+
+    def test_writes_confined_to_own_extent(self, nic_os):
+        victim = launch(nic_os, "victim", (0,), initial_image=b"VICTIM")
+        attacker = launch(nic_os, "attacker", (1,))
+        attacker.write(0, b"ATTACKER")  # fine: own memory
+        victim_base = nic_os.snic.record(victim.nf_id).extent_base
+        assert nic_os.snic.memory.read(victim_base, 6) == b"VICTIM"
+
+
+class TestAcceleratorIsolation:
+    def test_cluster_rejects_foreign_requests(self, nic_os):
+        victim = launch(
+            nic_os, "victim", (0,), accelerators=((AcceleratorKind.DPI, 1),)
+        )
+        cluster = nic_os.snic.record(victim.nf_id).clusters[0]
+        with pytest.raises(AccessFault):
+            cluster.submit(
+                AcceleratorRequest(owner=999, n_bytes=64, issue_ns=0.0)
+            )
+
+    def test_no_shared_path_remains(self, nic_os):
+        with pytest.raises(AccessFault):
+            nic_os.snic.engines[AcceleratorKind.DPI].submit_shared(
+                AcceleratorRequest(owner=1, n_bytes=64, issue_ns=0.0)
+            )
+
+    def test_accelerator_latency_isolated(self, nic_os):
+        """The Agilio crypto-contention channel is gone: a tenant's
+        accelerator latency is independent of co-tenant activity."""
+        a = launch(nic_os, "a", (0,), accelerators=((AcceleratorKind.CRYPTO, 1),))
+        b = launch(nic_os, "b", (1,), accelerators=((AcceleratorKind.CRYPTO, 1),))
+        quiet = a.accelerate(AcceleratorKind.CRYPTO, 100, issue_ns=0.0).latency_ns
+        for _ in range(10):
+            b.accelerate(AcceleratorKind.CRYPTO, 100_000, issue_ns=1000.0)
+        contended = a.accelerate(
+            AcceleratorKind.CRYPTO, 100, issue_ns=1e9
+        ).latency_ns
+        assert contended == pytest.approx(quiet)
+
+    def test_cluster_tlb_confined_to_owner(self, nic_os):
+        victim = launch(nic_os, "v", (0,))
+        user = launch(
+            nic_os, "u", (1,), accelerators=((AcceleratorKind.DPI, 1),)
+        )
+        snic = nic_os.snic
+        cluster = snic.record(user.nf_id).clusters[0]
+        cluster_pages = cluster.tlb.physical_pages(snic.memory.page_size)
+        victim_pages = set(snic.record(victim.nf_id).pages)
+        assert cluster_pages.isdisjoint(victim_pages)
+
+
+class TestCacheIsolation:
+    def test_hard_partition_blocks_probe(self, nic_os):
+        victim = launch(nic_os, "v", (0,))
+        attacker = launch(nic_os, "a", (1,))
+        snic = nic_os.snic
+        snic.l2.access(0xBEEF00, owner=victim.nf_id)
+        # Prime+probe from the attacker cannot observe the line.
+        assert snic.l2.access(0xBEEF00, owner=attacker.nf_id) is False
+
+    def test_partition_survives_colocation_churn(self, nic_os):
+        a = launch(nic_os, "a", (0,))
+        b = launch(nic_os, "b", (1,))
+        nic_os.NF_destroy(b.nf_id)
+        c = launch(nic_os, "c", (1,))
+        snic = nic_os.snic
+        assert snic.l2.ways_for(a.nf_id) >= 1
+        assert snic.l2.ways_for(c.nf_id) >= 1
+
+
+class TestBusIsolation:
+    def test_bus_dos_does_not_crash_or_delay_victim(self, nic_os):
+        """The Agilio DoS replayed on S-NIC: the attacker only saturates
+        its own epochs; the victim's latency is bit-identical and the
+        NIC never crashes."""
+        victim = launch(nic_os, "victim", (0,))
+        attacker = launch(nic_os, "attacker", (1,))
+        baseline = victim.bus_transfer(1024, now_ns=0.0)
+        for _ in range(5000):
+            attacker.bus_transfer(8, now_ns=0.0)
+        # Fresh victim request at a later instant: compare against a
+        # quiet twin system at the same instant.
+        quiet = SNIC(n_cores=4, dram_bytes=256 * MB, key_seed=7)
+        quiet_os = NICOS(quiet)
+        quiet_victim = launch(quiet_os, "victim", (0,))
+        launch(quiet_os, "attacker", (1,))
+        t = 1_000_000.0
+        assert victim.bus_transfer(1024, now_ns=t) == pytest.approx(
+            quiet_victim.bus_transfer(1024, now_ns=t)
+        )
+
+    def test_victim_first_transfer_unaffected(self, nic_os):
+        victim = launch(nic_os, "victim", (0,))
+        assert victim.bus_transfer(1024, now_ns=0.0) > 0
+
+
+class TestSchedulerConfinement:
+    def test_scheduler_rejects_dma_outside_owner(self, nic_os):
+        vnic = launch(
+            nic_os,
+            "nf",
+            (0,),
+            vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.1.1.1/32"))]),
+        )
+        scheduler = nic_os.snic.record(vnic.nf_id).vpp.scheduler
+        with pytest.raises(AccessFault):
+            scheduler.check_dma(0x0, 64)  # NIC OS region
+
+    def test_scheduler_locked(self, nic_os):
+        vnic = launch(nic_os, "nf", (0,))
+        scheduler = nic_os.snic.record(vnic.nf_id).vpp.scheduler
+        assert scheduler.locked
+        with pytest.raises(AccessFault):
+            scheduler.install_window(0, 64)
+
+
+class TestPacketPathIsolation:
+    def test_packets_only_reach_matching_function(self, nic_os):
+        a = launch(
+            nic_os, "a", (0,),
+            vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.0.0.0/8"))]),
+        )
+        b = launch(
+            nic_os, "b", (1,),
+            vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("2.0.0.0/8"))]),
+        )
+        snic = nic_os.snic
+        snic.rx_port.wire_arrival(Packet.make("9.9.9.9", "1.2.3.4"))
+        snic.rx_port.wire_arrival(Packet.make("9.9.9.9", "2.3.4.5"))
+        snic.process_ingress()
+        assert len(a.receive_all()) == 1
+        assert len(b.receive_all()) == 1
+
+    def test_queued_packets_uncorruptable_by_os(self, nic_os):
+        """The packet-corruption attack target: queued packets live in
+        denylisted function memory, so the OS (or anyone else) cannot
+        rewrite headers in place."""
+        vnic = launch(
+            nic_os, "nf", (0,),
+            vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.0.0.0/8"))]),
+        )
+        snic = nic_os.snic
+        snic.rx_port.wire_arrival(Packet.make("9.9.9.9", "1.2.3.4"))
+        snic.process_ingress()
+        ring = snic.record(vnic.nf_id).vpp.rx_ring
+        frame_addr, _ = ring.peek_descriptors()[0]
+        with pytest.raises(IsolationViolation):
+            nic_os.os_write(frame_addr + 26, b"\xff\xff\xff\xff")
+
+    def test_teardown_removes_packet_steering(self, nic_os):
+        vnic = launch(
+            nic_os, "nf", (0,),
+            vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.0.0.0/8"))]),
+        )
+        nic_os.NF_destroy(vnic.nf_id)
+        snic = nic_os.snic
+        snic.rx_port.wire_arrival(Packet.make("9.9.9.9", "1.2.3.4"))
+        delivered = snic.process_ingress()
+        assert delivered == {-1: 1}  # dropped

@@ -1,0 +1,222 @@
+"""Tests for nf_launch / nf_teardown lifecycle (§4.1, §4.6)."""
+
+import pytest
+
+from repro.core import LaunchError, NFConfig, SNIC, TeardownError
+from repro.core.vpp import VPPConfig
+from repro.hw.accelerator import AcceleratorKind
+from repro.net.rules import MatchRule, Prefix
+
+MB = 1024 * 1024
+
+
+def config(name="nf", cores=(0,), memory=4 * MB, **kwargs):
+    return NFConfig(
+        name=name, core_ids=tuple(cores), memory_bytes=memory, **kwargs
+    )
+
+
+@pytest.fixture
+def snic():
+    return SNIC(n_cores=4, dram_bytes=256 * MB, key_seed=7)
+
+
+class TestLaunchSuccess:
+    def test_returns_monotonic_ids(self, snic):
+        a = snic.nf_launch(config(cores=(0,)))
+        b = snic.nf_launch(config(cores=(1,)))
+        assert b == a + 1
+        assert snic.live_functions == [a, b]
+
+    def test_cores_bound(self, snic):
+        nf_id = snic.nf_launch(config(cores=(0, 1)))
+        assert snic.cores[0].owner == nf_id
+        assert snic.cores[1].owner == nf_id
+        assert snic.free_cores() == [2, 3]
+
+    def test_pages_claimed_and_denylisted(self, snic):
+        nf_id = snic.nf_launch(config())
+        record = snic.record(nf_id)
+        assert record.pages
+        for page in record.pages:
+            assert snic.memory.owner_of(page) == nf_id
+            assert not snic.denylist.check_page(page)
+
+    def test_image_placed_at_va_zero(self, snic):
+        image = b"INITIAL-CODE" * 16
+        nf_id = snic.nf_launch(config(initial_image=image))
+        record = snic.record(nf_id)
+        assert snic.memory.read(record.extent_base, len(image)) == image
+
+    def test_core_tlbs_locked(self, snic):
+        nf_id = snic.nf_launch(config(cores=(0,)))
+        assert snic.cores[0].tlb.locked
+        assert len(snic.cores[0].tlb) >= 1
+
+    def test_accelerator_clusters_bound_and_locked(self, snic):
+        nf_id = snic.nf_launch(
+            config(accelerators=((AcceleratorKind.DPI, 2),))
+        )
+        record = snic.record(nf_id)
+        assert len(record.clusters) == 2
+        for cluster in record.clusters:
+            assert cluster.owner == nf_id
+            assert cluster.tlb.locked
+
+    def test_cache_partitioned_per_function(self, snic):
+        a = snic.nf_launch(config(cores=(0,)))
+        b = snic.nf_launch(config(cores=(1,)))
+        assert snic.l2.ways_for(a) >= 1
+        assert snic.l2.ways_for(b) >= 1
+
+    def test_bus_domains_track_live_functions(self, snic):
+        a = snic.nf_launch(config(cores=(0,)))
+        assert a in snic.bus.arbiter.domains
+        b = snic.nf_launch(config(cores=(1,)))
+        assert set(snic.bus.arbiter.domains) >= {0, a, b}
+
+    def test_instruction_log(self, snic):
+        nf_id = snic.nf_launch(config())
+        names = [entry[0] for entry in snic.instruction_log]
+        assert "nf_launch" in names
+
+
+class TestLaunchValidation:
+    def test_busy_core_rejected(self, snic):
+        snic.nf_launch(config(cores=(0,)))
+        with pytest.raises(LaunchError):
+            snic.nf_launch(config(cores=(0,)))
+
+    def test_unknown_core_rejected(self, snic):
+        with pytest.raises(LaunchError):
+            snic.nf_launch(config(cores=(99,)))
+
+    def test_duplicate_cores_rejected(self, snic):
+        with pytest.raises(LaunchError):
+            snic.nf_launch(config(cores=(0, 0)))
+
+    def test_no_cores_rejected(self, snic):
+        with pytest.raises(LaunchError):
+            snic.nf_launch(config(cores=()))
+
+    def test_zero_memory_rejected(self, snic):
+        with pytest.raises(LaunchError):
+            snic.nf_launch(
+                NFConfig(name="x", core_ids=(0,), memory_bytes=0, ring_data_bytes=0,
+                         vpp=VPPConfig(ring_capacity=0))
+            )
+
+    def test_cluster_exhaustion_rejected(self, snic):
+        # Each engine has 64 threads in 16-thread clusters = 4 clusters.
+        snic.nf_launch(config(cores=(0,), accelerators=((AcceleratorKind.ZIP, 4),)))
+        with pytest.raises(LaunchError):
+            snic.nf_launch(
+                config(cores=(1,), accelerators=((AcceleratorKind.ZIP, 1),))
+            )
+
+    def test_failed_launch_leaves_no_state(self, snic):
+        """Atomicity: a rejected launch must not leak cores or pages."""
+        snic.nf_launch(config(cores=(1,)))
+        before_pages = sum(
+            1 for i in range(snic.memory.n_pages)
+            if snic.memory.owner_of(i) is not None
+        )
+        with pytest.raises(LaunchError):
+            snic.nf_launch(
+                config(cores=(0, 1))  # core 1 busy -> must fail up front
+            )
+        after_pages = sum(
+            1 for i in range(snic.memory.n_pages)
+            if snic.memory.owner_of(i) is not None
+        )
+        assert after_pages == before_pages
+        assert not snic.cores[0].allocated
+
+    def test_memory_exhaustion(self):
+        tiny = SNIC(n_cores=2, dram_bytes=32 * MB, key_seed=7)
+        with pytest.raises(LaunchError):
+            tiny.nf_launch(config(memory=64 * MB))
+
+
+class TestStateHash:
+    def test_deterministic(self):
+        a = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=7)
+        b = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=7)
+        cfg = config(initial_image=b"same-image")
+        assert a.record(a.nf_launch(cfg)).state_hash == b.record(
+            b.nf_launch(cfg)
+        ).state_hash
+
+    def test_image_changes_hash(self, snic):
+        h1 = snic.record(
+            snic.nf_launch(config(cores=(0,), initial_image=b"image-A"))
+        ).state_hash
+        h2 = snic.record(
+            snic.nf_launch(config(cores=(1,), initial_image=b"image-B"))
+        ).state_hash
+        assert h1 != h2
+
+    def test_rules_change_hash(self, snic):
+        """The hash covers the switching rules (§4.6) so a tampered
+        packet-steering setup is detectable via attestation."""
+        vpp_a = VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.1.1.1/32"))])
+        vpp_b = VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("2.2.2.2/32"))])
+        h1 = snic.record(snic.nf_launch(config(cores=(0,), vpp=vpp_a))).state_hash
+        h2 = snic.record(snic.nf_launch(config(cores=(1,), vpp=vpp_b))).state_hash
+        assert h1 != h2
+
+
+class TestTeardown:
+    def test_releases_everything(self, snic):
+        nf_id = snic.nf_launch(
+            config(cores=(0, 1), accelerators=((AcceleratorKind.DPI, 1),))
+        )
+        record = snic.record(nf_id)
+        snic.nf_teardown(nf_id)
+        assert snic.live_functions == []
+        assert not snic.cores[0].allocated and not snic.cores[1].allocated
+        for page in record.pages:
+            assert snic.memory.owner_of(page) is None
+            assert snic.denylist.check_page(page)
+        assert all(c.owner is None for c in record.clusters)
+        assert snic.dma.banks_for_owner(nf_id) == []
+
+    def test_scrubs_memory(self, snic):
+        nf_id = snic.nf_launch(config(initial_image=b"SECRET" * 100))
+        base = snic.record(nf_id).extent_base
+        snic.nf_teardown(nf_id)
+        assert snic.memory.read(base, 600) == b"\x00" * 600
+
+    def test_scrubs_cache_lines(self, snic):
+        nf_id = snic.nf_launch(config())
+        snic.l2.access(0x1000, owner=nf_id)
+        snic.nf_teardown(nf_id)
+        assert snic.l2.occupancy(nf_id) == 0
+
+    def test_resources_reusable_after_teardown(self, snic):
+        nf_id = snic.nf_launch(config(cores=(0,)))
+        snic.nf_teardown(nf_id)
+        again = snic.nf_launch(config(cores=(0,)))
+        assert again != nf_id
+        assert snic.cores[0].owner == again
+
+    def test_unknown_function_rejected(self, snic):
+        with pytest.raises(TeardownError):
+            snic.nf_teardown(999)
+
+    def test_double_teardown_rejected(self, snic):
+        nf_id = snic.nf_launch(config())
+        snic.nf_teardown(nf_id)
+        with pytest.raises(TeardownError):
+            snic.nf_teardown(nf_id)
+
+    def test_many_launch_teardown_cycles(self, snic):
+        """Resource bookkeeping survives churn (the §4.8 usage model:
+        'creating or destroying functions in response to load')."""
+        for _ in range(10):
+            a = snic.nf_launch(config(cores=(0, 1)))
+            b = snic.nf_launch(config(cores=(2,)))
+            snic.nf_teardown(a)
+            snic.nf_teardown(b)
+        assert snic.live_functions == []
+        assert len(snic.free_cores()) == 4

@@ -1,0 +1,198 @@
+"""Tests for cache policies, VPP details, and the timing model."""
+
+import pytest
+
+from repro.core.cache_policy import (
+    NIC_OS_OWNER,
+    SecDCPPolicy,
+    StaticPartitionPolicy,
+)
+from repro.core.timing import DEFAULT_TIMING, InstructionTimingModel, MB
+from repro.core.vpp import (
+    PacketSchedulerUnit,
+    SchedulerAlgorithm,
+    VPPConfig,
+)
+from repro.hw.cache import Cache, CacheConfig, HARD
+from repro.hw.memory import AccessFault
+
+
+def cache(ways=8):
+    return Cache(CacheConfig(size_bytes=ways * 64 * 64, line_bytes=64, ways=ways))
+
+
+class TestStaticPolicy:
+    def test_equal_shares(self):
+        c = cache(ways=8)
+        allocation = StaticPartitionPolicy(os_ways=2).apply(c, [1, 2, 3])
+        assert allocation[NIC_OS_OWNER] == 2
+        assert allocation[1] == allocation[2] == allocation[3] == 2
+        assert c.mode == HARD
+
+    def test_no_functions_gives_os_only(self):
+        c = cache()
+        allocation = StaticPartitionPolicy().apply(c, [])
+        assert allocation == {NIC_OS_OWNER: 1}
+
+    def test_too_many_functions_rejected(self):
+        c = cache(ways=4)
+        with pytest.raises(ValueError):
+            StaticPartitionPolicy(os_ways=1).apply(c, [1, 2, 3, 4])
+
+
+class TestSecDCP:
+    def test_initial_minimums(self):
+        c = cache(ways=8)
+        policy = SecDCPPolicy(min_ways=1)
+        allocation = policy.initial(c, [1, 2])
+        assert allocation[1] == allocation[2] == 1
+        assert allocation[NIC_OS_OWNER] == 6
+
+    def test_donates_when_os_idle(self):
+        c = cache(ways=8)
+        policy = SecDCPPolicy()
+        allocation = policy.initial(c, [1, 2])
+        # NIC OS hits everything -> low miss rate -> donate.
+        c.access(0, owner=NIC_OS_OWNER)
+        for _ in range(50):
+            c.access(0, owner=NIC_OS_OWNER)
+        updated = policy.rebalance(c, allocation)
+        assert updated[NIC_OS_OWNER] == allocation[NIC_OS_OWNER] - 1
+        assert sum(updated.values()) == sum(allocation.values())
+
+    def test_reclaims_when_os_thrashing(self):
+        c = cache(ways=8)
+        policy = SecDCPPolicy()
+        allocation = policy.initial(c, [1, 2])
+        allocation = {NIC_OS_OWNER: 2, 1: 3, 2: 3}
+        c.set_partitions(allocation, mode=HARD)
+        for i in range(200):
+            c.access(i * 64 * 1024, owner=NIC_OS_OWNER)  # all misses
+        updated = policy.rebalance(c, allocation)
+        assert updated[NIC_OS_OWNER] == 3
+
+    def test_never_dips_below_function_minimum(self):
+        c = cache(ways=4)
+        policy = SecDCPPolicy(min_ways=1)
+        allocation = {NIC_OS_OWNER: 2, 1: 1, 2: 1}
+        c.set_partitions(allocation, mode=HARD)
+        for i in range(200):
+            c.access(i * 64 * 1024, owner=NIC_OS_OWNER)
+        updated = policy.rebalance(c, allocation)
+        assert updated[1] >= 1 and updated[2] >= 1
+
+    def test_decisions_ignore_function_behaviour(self):
+        """The one-way information flow: two systems whose *functions*
+        behave completely differently — but whose NIC OS behaves
+        identically — must make identical rebalancing decisions."""
+        policy = SecDCPPolicy()
+        outcomes = []
+        for function_traffic in (0, 500):
+            c = cache(ways=8)
+            allocation = policy.initial(c, [1, 2])
+            for i in range(function_traffic):
+                c.access(i * 64 * 997, owner=1)  # wild function-1 traffic
+            for _ in range(50):
+                c.access(0, owner=NIC_OS_OWNER)  # identical OS behaviour
+            outcomes.append(policy.rebalance(c, allocation))
+        assert outcomes[0] == outcomes[1]
+
+    def test_insufficient_ways_rejected(self):
+        c = cache(ways=2)
+        with pytest.raises(ValueError):
+            SecDCPPolicy(min_ways=1, os_min_ways=1).initial(c, [1, 2])
+
+
+class TestSchedulerUnit:
+    def test_capacity_is_three(self):
+        unit = PacketSchedulerUnit(owner=1, algorithm=SchedulerAlgorithm.FIFO)
+        for base in (0, 100, 200):
+            unit.install_window(base, 50)
+        with pytest.raises(AccessFault):
+            unit.install_window(300, 50)
+
+    def test_lock_blocks_install(self):
+        unit = PacketSchedulerUnit(owner=1, algorithm=SchedulerAlgorithm.FIFO)
+        unit.install_window(0, 50)
+        unit.lock()
+        with pytest.raises(AccessFault):
+            unit.install_window(100, 50)
+
+    def test_check_dma(self):
+        unit = PacketSchedulerUnit(owner=1, algorithm=SchedulerAlgorithm.FIFO)
+        unit.install_window(100, 50)
+        unit.lock()
+        unit.check_dma(100, 50)
+        unit.check_dma(120, 10)
+        with pytest.raises(AccessFault):
+            unit.check_dma(90, 20)
+        with pytest.raises(AccessFault):
+            unit.check_dma(140, 20)
+
+    def test_clear_unlocks(self):
+        unit = PacketSchedulerUnit(owner=1, algorithm=SchedulerAlgorithm.FIFO)
+        unit.install_window(0, 50)
+        unit.lock()
+        unit.clear()
+        assert not unit.locked and unit.n_entries == 0
+
+
+class TestVPPConfig:
+    def test_rules_blob_deterministic(self):
+        from repro.net.rules import MatchRule, Prefix
+
+        rules = [MatchRule(dst_prefix=Prefix.parse("1.1.1.1/32"))]
+        assert VPPConfig(rules=rules).rules_blob() == VPPConfig(rules=rules).rules_blob()
+
+    def test_rules_blob_distinguishes_rules(self):
+        from repro.net.rules import MatchRule, Prefix
+
+        a = VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.1.1.1/32"))])
+        b = VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("1.1.1.2/32"))])
+        assert a.rules_blob() != b.rules_blob()
+
+
+class TestTimingModel:
+    """Figure 6 / Appendix C consistency checks."""
+
+    def test_lb_launch_latency(self):
+        # LB: 13.8 MB -> SHA digesting ~29.6 ms (paper: 29.62 ms).
+        breakdown = DEFAULT_TIMING.nf_launch_breakdown_ms(int(13.8 * MB))
+        assert breakdown["sha256_digesting"] == pytest.approx(29.62, rel=0.02)
+
+    def test_monitor_launch_latency(self):
+        # Monitor: 360.54 MB -> ~763.5 ms (paper: 763.52 ms).
+        breakdown = DEFAULT_TIMING.nf_launch_breakdown_ms(int(360.54 * MB))
+        assert breakdown["sha256_digesting"] == pytest.approx(763.52, rel=0.02)
+
+    def test_fixed_costs(self):
+        breakdown = DEFAULT_TIMING.nf_launch_breakdown_ms(MB)
+        assert breakdown["tlb_setup_config_read"] == pytest.approx(0.0196)
+        assert breakdown["denylisting"] == pytest.approx(0.0044)
+
+    def test_destroy_dominated_by_scrubbing(self):
+        # Paper: "memory scrubbing takes 99.99% of the time".
+        breakdown = DEFAULT_TIMING.nf_destroy_breakdown_ms(int(360.54 * MB))
+        total = sum(breakdown.values())
+        assert breakdown["memory_scrubbing"] / total > 0.999
+
+    def test_destroy_range_matches_paper(self):
+        # Paper: nf_destroy took 2.11–54.23 ms across the six NFs.
+        lb = DEFAULT_TIMING.nf_destroy_ms(int(13.8 * MB))
+        mon = DEFAULT_TIMING.nf_destroy_ms(int(360.54 * MB))
+        assert lb == pytest.approx(2.11, rel=0.05)
+        assert mon == pytest.approx(54.23, rel=0.02)
+
+    def test_attest_size_independent(self):
+        # Paper: nf_attest ~5.6 ms, independent of function size.
+        assert DEFAULT_TIMING.nf_attest_ms() == pytest.approx(5.6, rel=0.01)
+
+    def test_attest_breakdown(self):
+        breakdown = DEFAULT_TIMING.nf_attest_breakdown_ms()
+        assert breakdown["rsa_signing"] == pytest.approx(5.596)
+        assert breakdown["sha256_digesting"] == pytest.approx(0.004)
+
+    def test_launch_scales_with_memory(self):
+        small = DEFAULT_TIMING.nf_launch_ms(MB)
+        large = DEFAULT_TIMING.nf_launch_ms(100 * MB)
+        assert large > small * 50

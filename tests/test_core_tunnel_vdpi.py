@@ -1,0 +1,184 @@
+"""Tests for the secure tunnel (Fig. 4a) and the virtual DPI data path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NFConfig, NICOS, SNIC, IsolationViolation, Verifier
+from repro.core.tunnel import TunnelEndpoint, TunnelError, tunnel_pair
+from repro.core.vdpi import VirtualDPI, serialize_automaton
+from repro.crypto.dh import DHParams
+from repro.hw.accelerator import AcceleratorKind
+from repro.net.packet import Packet
+from repro.nf.dpi import AhoCorasick
+
+MB = 1024 * 1024
+KEY = bytes(range(32))
+SMALL_DH = DHParams(g=2, p=0xFFFFFFFB)
+
+
+def sample_packet(payload=b"secret-payload"):
+    return Packet.make("192.168.1.1", "192.168.1.2",
+                       src_port=443, dst_port=8443, payload=payload)
+
+
+class TestTunnel:
+    def test_seal_open_roundtrip(self):
+        sender, receiver = tunnel_pair(KEY)
+        packet = sample_packet()
+        opened = receiver.open(sender.seal(packet))
+        assert opened.to_bytes() == packet.to_bytes()
+
+    def test_wire_hides_headers_and_payload(self):
+        sender, _ = tunnel_pair(KEY)
+        packet = sample_packet(b"hide-me")
+        envelope = sender.seal(packet)
+        assert b"hide-me" not in envelope
+        # The inner 5-tuple bytes are invisible too.
+        assert packet.to_bytes()[:34] not in envelope
+
+    def test_tampering_rejected(self):
+        sender, receiver = tunnel_pair(KEY)
+        envelope = bytearray(sender.seal(sample_packet()))
+        envelope[12] ^= 0x01
+        with pytest.raises(TunnelError, match="tag"):
+            receiver.open(bytes(envelope))
+
+    def test_replay_rejected(self):
+        sender, receiver = tunnel_pair(KEY)
+        envelope = sender.seal(sample_packet())
+        receiver.open(envelope)
+        with pytest.raises(TunnelError, match="replay"):
+            receiver.open(envelope)
+
+    def test_truncation_rejected(self):
+        _, receiver = tunnel_pair(KEY)
+        with pytest.raises(TunnelError, match="truncated"):
+            receiver.open(b"short")
+
+    def test_wrong_key_rejected(self):
+        sender = TunnelEndpoint(KEY)
+        stranger = TunnelEndpoint(bytes(32))
+        with pytest.raises(TunnelError):
+            stranger.open(sender.seal(sample_packet()))
+
+    def test_sequence_numbers_distinguish_identical_packets(self):
+        sender, receiver = tunnel_pair(KEY)
+        first = sender.seal(sample_packet())
+        second = sender.seal(sample_packet())
+        assert first != second
+        receiver.open(first)
+        receiver.open(second)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            TunnelEndpoint(b"short")
+
+    @settings(max_examples=25)
+    @given(st.binary(max_size=256))
+    def test_roundtrip_property(self, payload):
+        sender, receiver = tunnel_pair(KEY)
+        packet = sample_packet(payload)
+        assert receiver.open(sender.seal(packet)).payload == payload
+
+    def test_tunnel_from_attested_key(self):
+        """End-to-end Fig. 4a: attest, derive the key, run the tunnel."""
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=101)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="ids", core_ids=(0,), memory_bytes=4 * MB,
+                     initial_image=b"ids-v1")
+        )
+        verifier = Verifier(snic.vendor_ca.public_key, seed=4)
+        session = vnic.attest(verifier.hello(), params=SMALL_DH)
+        gy, gateway_key = verifier.complete_exchange(
+            session.quote, expected_state_hash=vnic.state_hash
+        )
+        function_key = session.session_key(gy)
+        gateway = TunnelEndpoint(gateway_key)
+        function = TunnelEndpoint(function_key)
+        packet = sample_packet(b"cross-enterprise-flow")
+        assert function.open(gateway.seal(packet)).payload == \
+            b"cross-enterprise-flow"
+
+
+class TestSerializeAutomaton:
+    def test_offsets_cover_all_states(self):
+        automaton = AhoCorasick([b"he", b"she"])
+        blob, offsets = serialize_automaton(automaton)
+        assert len(offsets) == automaton.n_states
+        assert offsets[0] == 0
+        assert all(a < b for a, b in zip(offsets, offsets[1:]))
+        assert offsets[-1] < len(blob)
+
+
+@pytest.fixture
+def dpi_system():
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=102)
+    nic_os = NICOS(snic)
+    vnic = nic_os.NF_create(
+        NFConfig(name="ids", core_ids=(0,), memory_bytes=8 * MB,
+                 accelerators=((AcceleratorKind.DPI, 1),))
+    )
+    return snic, nic_os, vnic
+
+
+class TestVirtualDPI:
+    def test_scan_matches_software_automaton(self, dpi_system):
+        _, _, vnic = dpi_system
+        automaton = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        vdpi = VirtualDPI(vnic)
+        vdpi.load_graph(automaton)
+        haystack = b"ushers and his heroes"
+        assert sorted(vdpi.scan_matches(haystack)) == sorted(
+            automaton.search(haystack)
+        )
+
+    def test_graph_lives_in_function_memory(self, dpi_system):
+        snic, _, vnic = dpi_system
+        automaton = AhoCorasick([b"evil"])
+        vdpi = VirtualDPI(vnic)
+        size = vdpi.load_graph(automaton, vbase=0x10000)
+        blob = vnic.read(0x10000, size)
+        assert blob == serialize_automaton(automaton)[0]
+
+    def test_requires_cluster(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=103)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="no-dpi", core_ids=(0,), memory_bytes=4 * MB)
+        )
+        with pytest.raises(IsolationViolation):
+            VirtualDPI(vnic)
+
+    def test_scan_before_load_rejected(self, dpi_system):
+        _, _, vnic = dpi_system
+        vdpi = VirtualDPI(vnic)
+        with pytest.raises(IsolationViolation):
+            vdpi.scan(b"data")
+
+    def test_graph_unreadable_by_management_os(self, dpi_system):
+        """The DPI-ruleset-stealing target: even knowing exactly where
+        the graph lives, the NIC OS cannot read it."""
+        snic, nic_os, vnic = dpi_system
+        vdpi = VirtualDPI(vnic)
+        vdpi.load_graph(AhoCorasick([b"signature-1", b"signature-2"]))
+        graph_paddr = snic.record(vnic.nf_id).extent_base + 0x10000
+        with pytest.raises(IsolationViolation):
+            nic_os.os_read(graph_paddr, 64)
+
+    def test_scan_has_service_latency(self, dpi_system):
+        _, _, vnic = dpi_system
+        vdpi = VirtualDPI(vnic)
+        vdpi.load_graph(AhoCorasick([b"x"]))
+        request = vdpi.scan(b"payload" * 100, issue_ns=0.0)
+        assert request.latency_ns >= vdpi.cluster.service.service_ns(700)
+
+    def test_binary_patterns(self, dpi_system):
+        _, _, vnic = dpi_system
+        automaton = AhoCorasick([b"\x90\x90\x90", b"\x00\xff\x00"])
+        vdpi = VirtualDPI(vnic)
+        vdpi.load_graph(automaton)
+        haystack = b"\x01\x90\x90\x90\x02\x00\xff\x00"
+        assert sorted(vdpi.scan_matches(haystack)) == sorted(
+            automaton.search(haystack)
+        )

@@ -1,0 +1,275 @@
+"""Tests for the mini-McPAT model, profiles, Figure 7, and TCO —
+asserting the paper's published numbers (Tables 2–4, 6–8, §5.2)."""
+
+import pytest
+
+from repro.cost.mcpat import (
+    A9_BASELINE,
+    CORE_TLB_CAL,
+    IO_TLB_CAL,
+    TLBCostModel,
+    snic_headline_overheads,
+)
+from repro.cost.pages import EQUAL_MENU, FLEX_HIGH_MENU, FLEX_LOW_MENU, MB
+from repro.cost.profiles import (
+    ACCEL_PROFILES,
+    DMA_REGIONS,
+    MonitorMemoryModel,
+    NF_PROFILES,
+    VPP_REGIONS,
+    mur_table,
+)
+from repro.cost.pages import entries_for
+from repro.cost.tco import (
+    LIQUIDIO_12CORE,
+    XEON_E5_2680V3,
+    paper_tco_analysis,
+)
+
+
+@pytest.fixture
+def model():
+    return TLBCostModel()
+
+
+class TestTable2:
+    """Programmable-core TLB costs (4-core column, exact fit points)."""
+
+    @pytest.mark.parametrize(
+        "entries,area,power",
+        [(183, 0.045, 0.026), (256, 0.060, 0.035), (512, 0.163, 0.088)],
+    )
+    def test_four_core_points(self, model, entries, area, power):
+        got_area, got_power = model.core_tlbs(entries, 4)
+        assert got_area == pytest.approx(area, abs=0.001)
+        assert got_power == pytest.approx(power, abs=0.001)
+
+    def test_scales_linearly_with_cores(self, model):
+        area4, power4 = model.core_tlbs(256, 4)
+        area48, power48 = model.core_tlbs(256, 48)
+        assert area48 == pytest.approx(12 * area4)
+        assert power48 == pytest.approx(12 * power4)
+
+    def test_48_core_monitor_row(self, model):
+        area, power = model.core_tlbs(183, 48)
+        assert area == pytest.approx(0.538, abs=0.005)
+        assert power == pytest.approx(0.311, abs=0.005)
+
+    def test_relative_overheads(self, model):
+        # The parenthesised 4-core percentages: 0.90% area, 1.36% power
+        # at 183 entries; 3.19% / 4.45% at 512.
+        rel_area, rel_power = model.core_tlbs_relative(183)
+        assert rel_area == pytest.approx(0.0090, abs=0.0002)
+        assert rel_power == pytest.approx(0.0136, abs=0.0003)
+        rel_area, rel_power = model.core_tlbs_relative(512)
+        assert rel_area == pytest.approx(0.0319, abs=0.0003)
+        assert rel_power == pytest.approx(0.0445, abs=0.0005)
+
+    def test_baseline_consistency(self):
+        # All Table 2 rows back out the same A9 baseline.
+        assert A9_BASELINE.area_mm2 == pytest.approx(4.939)
+        assert A9_BASELINE.power_w == pytest.approx(1.883)
+
+    def test_monotone_in_entries(self, model):
+        areas = [model.core_tlbs(n, 4)[0] for n in (64, 128, 256, 512)]
+        assert areas == sorted(areas)
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            CORE_TLB_CAL.bank_area_mm2(0)
+
+
+class TestTable3:
+    """Accelerator TLB banks (16-cluster column)."""
+
+    @pytest.mark.parametrize(
+        "name,entries,area,power",
+        [("DPI", 54, 0.074, 0.037), ("ZIP", 70, 0.091, 0.044), ("RAID", 5, 0.050, 0.023)],
+    )
+    def test_sixteen_cluster_points(self, model, name, entries, area, power):
+        got_area, got_power = model.io_tlb_banks(entries, 16)
+        assert got_area == pytest.approx(area, abs=0.001)
+        assert got_power == pytest.approx(power, abs=0.001)
+
+    def test_fewer_clusters_cost_less(self, model):
+        a16 = model.io_tlb_banks(54, 16)[0]
+        a4 = model.io_tlb_banks(54, 4)[0]
+        assert a4 == pytest.approx(a16 / 4)
+
+    def test_raid_hits_bank_floor(self):
+        # RAID's 5 entries land on the minimum-bank cost.
+        assert IO_TLB_CAL.bank_area_mm2(5) == IO_TLB_CAL.area_floor_mm2
+
+
+class TestTable4:
+    """VPP + DMA TLB banks; 2 and 3 entries cost the same (floor)."""
+
+    def test_twelve_bank_row(self, model):
+        for entries in (2, 3):
+            area, power = model.io_tlb_banks(entries, 12)
+            assert area == pytest.approx(0.037, abs=0.001)
+            assert power == pytest.approx(0.017, abs=0.001)
+
+    def test_two_equals_three_entries(self, model):
+        assert model.io_tlb_banks(2, 12) == model.io_tlb_banks(3, 12)
+
+    @pytest.mark.parametrize("banks,area", [(12, 0.037), (6, 0.019), (3, 0.009)])
+    def test_bank_scaling(self, model, banks, area):
+        assert model.io_tlb_banks(3, banks)[0] == pytest.approx(area, abs=0.001)
+
+
+class TestHeadline:
+    def test_area_and_power_overheads(self):
+        """§5.2: '+8.89% more chip area and 11.45% more power'."""
+        results = snic_headline_overheads()
+        assert results["area_overhead_pct"] == pytest.approx(8.89, abs=0.15)
+        assert results["power_overhead_pct"] == pytest.approx(11.45, abs=0.15)
+
+    def test_components_match_paper_sections(self):
+        results = snic_headline_overheads()
+        # Accelerators: "up to 4.2% more die area and 5.3% more power".
+        base_area = A9_BASELINE.area_mm2 + results["core_tlb_area_mm2"]
+        assert results["accel_tlb_area_mm2"] / base_area == pytest.approx(
+            0.042, abs=0.002
+        )
+        # VPP+DMA: "1.5% increase in chip area, and 1.7% additional power".
+        assert results["vpp_dma_area_mm2"] / base_area == pytest.approx(
+            0.015, abs=0.001
+        )
+
+
+class TestTable6:
+    PAPER_ENTRIES = {
+        "FW": (11, 34, 11),
+        "DPI": (28, 51, 13),
+        "NAT": (25, 37, 10),
+        "LB": (10, 22, 10),
+        "LPM": (37, 23, 7),
+        "Mon": (183, 46, 12),
+    }
+
+    @pytest.mark.parametrize("name", list(PAPER_ENTRIES))
+    def test_equal_menu_entries_exact(self, name):
+        assert NF_PROFILES[name].tlb_entries(EQUAL_MENU) == self.PAPER_ENTRIES[name][0]
+
+    @pytest.mark.parametrize("name", list(PAPER_ENTRIES))
+    def test_flex_low_entries(self, name):
+        got = NF_PROFILES[name].tlb_entries(FLEX_LOW_MENU)
+        # FW is one below the paper's 34 (a rounding artifact in the
+        # paper's profile); every other NF is exact.
+        assert abs(got - self.PAPER_ENTRIES[name][1]) <= 1
+
+    @pytest.mark.parametrize("name", list(PAPER_ENTRIES))
+    def test_flex_high_entries_exact(self, name):
+        assert (
+            NF_PROFILES[name].tlb_entries(FLEX_HIGH_MENU)
+            == self.PAPER_ENTRIES[name][2]
+        )
+
+    def test_totals(self):
+        assert NF_PROFILES["FW"].total / MB == pytest.approx(17.20, abs=0.01)
+        # The paper's own components sum to 360.53 (its total rounds up).
+        assert NF_PROFILES["Mon"].total / MB == pytest.approx(360.54, abs=0.02)
+
+    def test_monitor_is_largest(self):
+        assert max(NF_PROFILES.values(), key=lambda p: p.total).name == "Mon"
+
+    def test_table5_max_entries(self):
+        """Table 5: the worst NF needs 183 / 51 / 13 entries under
+        Equal / Flex-low / Flex-high."""
+        assert max(p.tlb_entries(EQUAL_MENU) for p in NF_PROFILES.values()) == 183
+        assert max(p.tlb_entries(FLEX_LOW_MENU) for p in NF_PROFILES.values()) == 51
+        assert max(p.tlb_entries(FLEX_HIGH_MENU) for p in NF_PROFILES.values()) == 13
+
+
+class TestTable7:
+    PAPER = {"DPI": (101.90, 54), "ZIP": (132.24, 70), "RAID": (8.13, 5)}
+
+    @pytest.mark.parametrize("name", list(PAPER))
+    def test_totals_and_entries(self, name):
+        profile = ACCEL_PROFILES[name]
+        total_mb, entries = self.PAPER[name]
+        assert profile.total / MB == pytest.approx(total_mb, abs=0.02)
+        assert profile.tlb_entries(EQUAL_MENU) == entries
+
+    def test_vpp_needs_three_entries(self):
+        assert entries_for(VPP_REGIONS, EQUAL_MENU) == 3
+
+    def test_dma_needs_two_entries(self):
+        assert entries_for(DMA_REGIONS, EQUAL_MENU) == 2
+
+
+class TestTable8:
+    PAPER_MUR = {
+        "FW": 1.000, "DPI": 1.000, "NAT": 0.723,
+        "LB": 0.302, "LPM": 1.000, "Mon": 0.683,
+    }
+
+    @pytest.mark.parametrize("name", list(PAPER_MUR))
+    def test_murs(self, name):
+        assert NF_PROFILES[name].mur == pytest.approx(
+            self.PAPER_MUR[name], abs=0.005
+        )
+
+    def test_mur_table_rows(self):
+        rows = mur_table()
+        assert rows["NAT"]["used_mb"] == pytest.approx(31.72, abs=0.01)
+        assert rows["LB"]["prealloc_mb"] == pytest.approx(13.80, abs=0.01)
+
+
+class TestFigure7:
+    def test_calibration_targets(self):
+        summary = MonitorMemoryModel().summary()
+        assert summary["prealloc_min_mb"] == pytest.approx(360.54, abs=0.5)
+        assert summary["steady_mb"] == pytest.approx(246.31, abs=0.5)
+
+    def test_series_shape(self):
+        model = MonitorMemoryModel()
+        series = model.series()
+        times = [t for t, _ in series]
+        assert times[0] == 0.0 and times[-1] >= model.duration_s - 1
+        values = [m for _, m in series]
+        # Spiky staircase: the max exceeds the final steady state.
+        assert max(values) > values[-1]
+
+    def test_multiple_resizes(self):
+        assert len(MonitorMemoryModel().resize_times()) >= 3
+
+    def test_hugepage_spike_present(self):
+        model = MonitorMemoryModel()
+        series = dict(model.series(step_s=0.5))
+        during = series[model.hugepage_init_at_s + 0.5]
+        after = series[model.hugepage_init_at_s + 2.0]
+        assert during > after  # the transient doubling
+
+    def test_inconsistent_targets_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorMemoryModel(steady_target_mb=100.0, peak_target_mb=400.0)
+
+
+class TestTCO:
+    def test_per_core_tcos(self):
+        """§5.2: $38.97 (LiquidIO), $163.56 (host), $42.53 (S-NIC)."""
+        results = paper_tco_analysis().results()
+        assert results["nic_tco_per_core"] == pytest.approx(38.97, abs=0.05)
+        assert results["host_tco_per_core"] == pytest.approx(163.56, abs=0.05)
+        assert results["snic_tco_per_core"] == pytest.approx(42.53, abs=0.05)
+
+    def test_advantage_reduction(self):
+        """§5.2: 'decreases TCO advantage by up to 8.37%' / '91.6%'."""
+        results = paper_tco_analysis().results()
+        assert results["advantage_reduction_pct"] == pytest.approx(8.37, abs=0.1)
+        assert results["benefit_preserved_pct"] == pytest.approx(91.6, abs=0.1)
+
+    def test_device_constants(self):
+        assert LIQUIDIO_12CORE.power_w == 24.7
+        assert XEON_E5_2680V3.price_usd == 1745.0
+
+    def test_energy_cost(self):
+        # 24.7 W for 3 years at $0.0733/kWh ≈ $47.6.
+        assert LIQUIDIO_12CORE.energy_cost_usd() == pytest.approx(47.62, abs=0.1)
+
+    def test_overheads_raise_tco(self):
+        snic = LIQUIDIO_12CORE.with_snic_overheads(8.89, 11.45)
+        assert snic.tco_per_core() > LIQUIDIO_12CORE.tco_per_core()
+        assert snic.power_w == pytest.approx(24.7 * 1.1145)

@@ -1,0 +1,63 @@
+"""Tests for the Appendix-B-style profiler over this repo's NFs."""
+
+import pytest
+
+from repro.cost.pages import EQUAL_MENU
+from repro.cost.pyprofile import (
+    PyNFProfile,
+    build_default_nfs,
+    profile_all,
+    profile_nf,
+)
+from repro.net.traces import make_ictf_like_trace
+from repro.nf import Monitor
+
+
+class TestProfileNF:
+    def test_samples_and_peak(self):
+        trace = make_ictf_like_trace(scale=0.005)
+        profile = profile_nf(
+            "Mon", Monitor(), trace.packets(500, payload_size=64),
+            sample_every=100,
+        )
+        assert profile.packets == 500
+        assert profile.peak_state_bytes >= profile.final_state_bytes
+        assert len(profile.samples) >= 5
+        # Samples are (count, bytes) with counts increasing.
+        counts = [c for c, _ in profile.samples]
+        assert counts == sorted(counts)
+
+    def test_monitor_grows(self):
+        trace = make_ictf_like_trace(scale=0.005)
+        profile = profile_nf(
+            "Mon", Monitor(), trace.packets(1500, payload_size=64)
+        )
+        assert profile.growth_ratio > 2
+
+    def test_tlb_entries_positive(self):
+        profile = PyNFProfile(
+            name="x", packets=1, peak_state_bytes=1024,
+            final_state_bytes=1024, samples=[(0, 1024)],
+        )
+        assert profile.tlb_entries(EQUAL_MENU) >= 2  # image + state
+
+
+class TestProfileAll:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return profile_all(n_packets=800)
+
+    def test_all_six_present(self, profiles):
+        assert set(profiles) == {"FW", "DPI", "NAT", "LB", "LPM", "Mon"}
+
+    def test_static_structures_do_not_grow(self, profiles):
+        assert profiles["LPM"].growth_ratio == pytest.approx(1.0)
+        assert profiles["DPI"].growth_ratio == pytest.approx(1.0)
+
+    def test_flow_keyed_structures_grow(self, profiles):
+        assert profiles["Mon"].growth_ratio > profiles["LPM"].growth_ratio
+        assert profiles["NAT"].growth_ratio > 1.0
+
+    def test_default_nfs_buildable(self):
+        nfs = build_default_nfs()
+        assert len(nfs) == 6

@@ -1,0 +1,77 @@
+"""Tests for the from-scratch ChaCha20 (RFC 7539 vectors + properties)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.chacha20 import (
+    chacha20_block,
+    chacha20_xor,
+    nonce_from_sequence,
+)
+
+
+class TestRFC7539Vectors:
+    # RFC 7539 §2.3.2 block-function test vector.
+    KEY = bytes(range(32))
+    NONCE = bytes.fromhex("000000090000004a00000000")
+
+    def test_block_function_vector(self):
+        block = chacha20_block(self.KEY, counter=1, nonce=self.NONCE)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_encryption_vector(self):
+        # RFC 7539 §2.4.2.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        ciphertext = chacha20_xor(key, nonce, plaintext, initial_counter=1)
+        assert ciphertext.hex().startswith("6e2e359a2568f98041ba0728dd0d6981")
+        assert ciphertext.hex().endswith("874d")
+
+
+class TestProperties:
+    def test_xor_is_involution(self):
+        key = bytes(32)
+        nonce = nonce_from_sequence(5)
+        data = b"round-trip" * 20
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+    def test_distinct_nonces_distinct_streams(self):
+        key = bytes(32)
+        a = chacha20_xor(key, nonce_from_sequence(1), bytes(64))
+        b = chacha20_xor(key, nonce_from_sequence(2), bytes(64))
+        assert a != b
+
+    def test_distinct_keys_distinct_streams(self):
+        nonce = nonce_from_sequence(1)
+        a = chacha20_xor(bytes(32), nonce, bytes(64))
+        b = chacha20_xor(bytes([1]) + bytes(31), nonce, bytes(64))
+        assert a != b
+
+    def test_bad_key_size(self):
+        with pytest.raises(ValueError):
+            chacha20_block(bytes(16), 0, bytes(12))
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(ValueError):
+            chacha20_block(bytes(32), 0, bytes(8))
+
+    def test_counter_range(self):
+        with pytest.raises(ValueError):
+            chacha20_block(bytes(32), 1 << 32, bytes(12))
+
+    @settings(max_examples=30)
+    @given(st.binary(max_size=300), st.integers(0, 2**64 - 1))
+    def test_roundtrip_property(self, data, sequence):
+        key = bytes(range(32))
+        nonce = nonce_from_sequence(sequence)
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data

@@ -1,0 +1,150 @@
+"""Tests for accelerator engines, clusters, and the contention channel."""
+
+import pytest
+
+from repro.hw.accelerator import (
+    AcceleratorCluster,
+    AcceleratorEngine,
+    AcceleratorKind,
+    AcceleratorRequest,
+    FRONTEND_DISPATCH_RATE_RPS,
+    ServiceModel,
+    _ThreadPool,
+)
+from repro.hw.memory import AccessFault
+
+
+class TestServiceModel:
+    def test_linear_in_bytes(self):
+        model = ServiceModel(setup_ns=100.0, ns_per_byte=2.0)
+        assert model.service_ns(50) == pytest.approx(200.0)
+
+    def test_zero_bytes_costs_setup(self):
+        assert ServiceModel(100.0, 2.0).service_ns(0) == 100.0
+
+
+class TestThreadPool:
+    def test_parallel_service(self):
+        pool = _ThreadPool(2)
+        a = pool.serve(0.0, 100.0)
+        b = pool.serve(0.0, 100.0)
+        assert a == b == 100.0  # two threads run concurrently
+
+    def test_queueing_beyond_threads(self):
+        pool = _ThreadPool(1)
+        pool.serve(0.0, 100.0)
+        assert pool.serve(0.0, 100.0) == 200.0
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            _ThreadPool(0)
+
+
+class TestSharedEngine:
+    def test_contention_side_channel(self):
+        """Agilio-style shared accelerator: a victim's latency reveals
+        whether a co-tenant was using the engine (§3.2)."""
+        quiet = AcceleratorEngine(AcceleratorKind.CRYPTO, n_threads=1)
+        request = AcceleratorRequest(owner=2, n_bytes=100, issue_ns=0.0)
+        quiet.submit_shared(request)
+        quiet_latency = request.latency_ns
+
+        noisy = AcceleratorEngine(AcceleratorKind.CRYPTO, n_threads=1)
+        noisy.submit_shared(AcceleratorRequest(owner=1, n_bytes=100_000, issue_ns=0.0))
+        request = AcceleratorRequest(owner=2, n_bytes=100, issue_ns=0.0)
+        noisy.submit_shared(request)
+        assert request.latency_ns > quiet_latency
+
+    def test_work_callback_runs(self):
+        engine = AcceleratorEngine(AcceleratorKind.DPI)
+        request = AcceleratorRequest(
+            owner=1, n_bytes=10, issue_ns=0.0, work=lambda: "matched"
+        )
+        engine.submit_shared(request)
+        assert request.result == "matched"
+
+    def test_split_disables_shared_path(self):
+        engine = AcceleratorEngine(AcceleratorKind.DPI, n_threads=64)
+        engine.split_clusters(16)
+        with pytest.raises(AccessFault):
+            engine.submit_shared(AcceleratorRequest(owner=1, n_bytes=1, issue_ns=0.0))
+
+
+class TestClusters:
+    def test_split_geometry(self):
+        engine = AcceleratorEngine(AcceleratorKind.DPI, n_threads=64)
+        clusters = engine.split_clusters(16)
+        assert len(clusters) == 4
+        assert all(c.n_threads == 16 for c in clusters)
+
+    def test_split_requires_divisibility(self):
+        engine = AcceleratorEngine(AcceleratorKind.DPI, n_threads=64)
+        with pytest.raises(ValueError):
+            engine.split_clusters(48)
+
+    def test_allocate_and_ownership(self):
+        engine = AcceleratorEngine(AcceleratorKind.ZIP, n_threads=64)
+        engine.split_clusters(16)
+        chosen = engine.allocate_clusters(nf_id=7, count=2)
+        assert all(c.owner == 7 for c in chosen)
+        assert len(engine.free_clusters()) == 2
+
+    def test_allocate_insufficient(self):
+        engine = AcceleratorEngine(AcceleratorKind.ZIP, n_threads=64)
+        engine.split_clusters(16)
+        engine.allocate_clusters(nf_id=1, count=3)
+        with pytest.raises(AccessFault):
+            engine.allocate_clusters(nf_id=2, count=2)
+
+    def test_double_bind_rejected(self):
+        cluster = AcceleratorCluster(AcceleratorKind.DPI, 0, n_threads=4)
+        cluster.bind(1)
+        with pytest.raises(AccessFault):
+            cluster.bind(2)
+
+    def test_foreign_request_rejected(self):
+        cluster = AcceleratorCluster(AcceleratorKind.DPI, 0, n_threads=4)
+        cluster.bind(1)
+        with pytest.raises(AccessFault):
+            cluster.submit(AcceleratorRequest(owner=2, n_bytes=10, issue_ns=0.0))
+
+    def test_unbind_resets(self):
+        cluster = AcceleratorCluster(AcceleratorKind.DPI, 0, n_threads=4)
+        cluster.bind(1)
+        cluster.submit(AcceleratorRequest(owner=1, n_bytes=10, issue_ns=0.0))
+        cluster.unbind()
+        assert cluster.owner is None
+        assert cluster.completed == 0
+        assert not cluster.tlb.locked
+
+    def test_isolated_latency_independent_of_other_clusters(self):
+        """S-NIC's fix: per-NF clusters see no cross-tenant contention."""
+        engine = AcceleratorEngine(AcceleratorKind.CRYPTO, n_threads=8)
+        mine, other = engine.split_clusters(4)[:2]
+        mine.bind(1)
+        other.bind(2)
+        other.submit(AcceleratorRequest(owner=2, n_bytes=1_000_000, issue_ns=0.0))
+        request = mine.submit(AcceleratorRequest(owner=1, n_bytes=100, issue_ns=0.0))
+        expected = mine.service.service_ns(100)
+        assert request.latency_ns == pytest.approx(expected)
+
+
+class TestThroughputModel:
+    def _cluster(self, threads):
+        return AcceleratorCluster(AcceleratorKind.DPI, 0, n_threads=threads)
+
+    def test_small_frames_hit_frontend_cap(self):
+        cluster = self._cluster(threads=16)
+        assert cluster.throughput_mpps(64) == pytest.approx(
+            FRONTEND_DISPATCH_RATE_RPS / 1e6
+        )
+
+    def test_large_frames_scale_with_threads(self):
+        small = self._cluster(threads=16).throughput_mpps(9000)
+        large = self._cluster(threads=48).throughput_mpps(9000)
+        assert large == pytest.approx(3 * small)
+
+    def test_throughput_decreases_with_frame_size(self):
+        cluster = self._cluster(threads=16)
+        rates = [cluster.throughput_mpps(size) for size in (64, 512, 1500, 9000)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,110 @@
+"""Tests for the multi-bank DMA controller (§4.2)."""
+
+import pytest
+
+from repro.hw.dma import DMABank, DMAController, DMAWindow
+from repro.hw.memory import AccessFault, HostMemory, PhysicalMemory
+
+
+@pytest.fixture
+def setup():
+    nic = PhysicalMemory(1024 * 1024, page_size=4096)
+    host = HostMemory(1024 * 1024, page_size=4096)
+    bank = DMABank(0)
+    bank.configure(
+        owner=1,
+        nic_window=DMAWindow(base=0x10000, size=0x10000),
+        host_window=DMAWindow(base=0x40000, size=0x10000),
+    )
+    return nic, host, bank
+
+
+class TestWindow:
+    def test_contains(self):
+        window = DMAWindow(base=100, size=100)
+        assert window.contains(100, 100)
+        assert window.contains(150, 50)
+        assert not window.contains(150, 51)
+        assert not window.contains(99, 1)
+
+
+class TestTransfers:
+    def test_host_to_nic(self, setup):
+        nic, host, bank = setup
+        host.write(0x40000, b"bootstrap-image")
+        bank.to_nic(host, nic, host_addr=0x40000, nic_addr=0x10000, n_bytes=15)
+        assert nic.read(0x10000, 15) == b"bootstrap-image"
+        assert bank.bytes_moved == 15
+
+    def test_nic_to_host(self, setup):
+        nic, host, bank = setup
+        nic.write(0x10000, b"results")
+        bank.to_host(nic, host, nic_addr=0x10000, host_addr=0x40000, n_bytes=7)
+        assert host.read(0x40000, 7) == b"results"
+
+    def test_nic_window_enforced(self, setup):
+        nic, host, bank = setup
+        with pytest.raises(AccessFault):
+            bank.to_nic(host, nic, host_addr=0x40000, nic_addr=0x0, n_bytes=8)
+
+    def test_host_window_enforced(self, setup):
+        """The host-sanctioned region (§4.2): the function cannot DMA
+        into arbitrary host memory."""
+        nic, host, bank = setup
+        with pytest.raises(AccessFault):
+            bank.to_host(nic, host, nic_addr=0x10000, host_addr=0x0, n_bytes=8)
+
+    def test_straddling_rejected(self, setup):
+        nic, host, bank = setup
+        with pytest.raises(AccessFault):
+            bank.to_nic(
+                host, nic, host_addr=0x4FF00, nic_addr=0x10000, n_bytes=0x200
+            )
+
+    def test_unconfigured_bank_rejects(self):
+        bank = DMABank(1)
+        nic = PhysicalMemory(8192, page_size=4096)
+        host = HostMemory(8192, page_size=4096)
+        with pytest.raises(AccessFault):
+            bank.to_nic(host, nic, 0, 0, 1)
+
+
+class TestBankLifecycle:
+    def test_lock_prevents_reconfigure(self, setup):
+        _, _, bank = setup
+        bank.lock()
+        with pytest.raises(AccessFault):
+            bank.configure(
+                owner=2,
+                nic_window=DMAWindow(0, 10),
+                host_window=DMAWindow(0, 10),
+            )
+
+    def test_release_clears(self, setup):
+        _, _, bank = setup
+        bank.lock()
+        bank.release()
+        assert bank.owner is None and bank.nic_window is None
+
+
+class TestController:
+    def test_bank_per_core(self):
+        controller = DMAController(n_banks=4)
+        assert controller.bank_for_core(3).bank_id == 3
+        with pytest.raises(AccessFault):
+            controller.bank_for_core(4)
+
+    def test_release_owner(self):
+        controller = DMAController(n_banks=4)
+        for i in (0, 2):
+            controller.banks[i].configure(
+                owner=9,
+                nic_window=DMAWindow(0, 10),
+                host_window=DMAWindow(0, 10),
+            )
+        assert controller.release_owner(9) == 2
+        assert controller.banks_for_owner(9) == []
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            DMAController(0)

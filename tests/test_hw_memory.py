@@ -1,0 +1,129 @@
+"""Tests for physical memory with page ownership."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.memory import (
+    AccessFault,
+    HostMemory,
+    OutOfMemoryError,
+    PhysicalMemory,
+)
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(1024 * 1024, page_size=4096)
+
+
+class TestBasicIO:
+    def test_fresh_memory_reads_zero(self, mem):
+        assert mem.read(0, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self, mem):
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_cross_page_write(self, mem):
+        data = bytes(range(200)) * 50  # 10 KB spanning 3 pages
+        mem.write(4000, data)
+        assert mem.read(4000, len(data)) == data
+
+    def test_u64_roundtrip(self, mem):
+        mem.write_u64(8, 0xDEADBEEFCAFEBABE)
+        assert mem.read_u64(8) == 0xDEADBEEFCAFEBABE
+
+    def test_out_of_range_read(self, mem):
+        with pytest.raises(AccessFault):
+            mem.read(mem.size_bytes - 4, 8)
+
+    def test_out_of_range_write(self, mem):
+        with pytest.raises(AccessFault):
+            mem.write(mem.size_bytes, b"x")
+
+    def test_negative_size(self, mem):
+        with pytest.raises(ValueError):
+            mem.read(0, -1)
+
+    def test_requires_whole_pages(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(4097, page_size=4096)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=1000), st.binary(min_size=1, max_size=9000))
+    def test_roundtrip_property(self, offset, data):
+        mem = PhysicalMemory(64 * 1024, page_size=4096)
+        if offset + len(data) <= mem.size_bytes:
+            mem.write(offset, data)
+            assert mem.read(offset, len(data)) == data
+
+
+class TestOwnership:
+    def test_fresh_pages_are_free(self, mem):
+        assert mem.owner_of(0) is None
+
+    def test_claim_and_query(self, mem):
+        mem.claim_pages(7, [1, 2, 3])
+        assert mem.owner_of(2) == 7
+        assert mem.pages_owned_by(7) == [1, 2, 3]
+
+    def test_double_claim_fails(self, mem):
+        mem.claim_pages(7, [1])
+        with pytest.raises(AccessFault):
+            mem.claim_pages(8, [1])
+
+    def test_claim_is_atomic(self, mem):
+        mem.claim_pages(7, [2])
+        with pytest.raises(AccessFault):
+            mem.claim_pages(8, [1, 2])  # page 2 busy -> nothing claimed
+        assert mem.owner_of(1) is None
+
+    def test_release_scrubs(self, mem):
+        mem.claim_pages(7, [1])
+        mem.write(4096, b"secret")
+        released = mem.release_pages(7, scrub=True)
+        assert released == 1
+        assert mem.owner_of(1) is None
+        assert mem.read(4096, 6) == b"\x00" * 6
+
+    def test_release_without_scrub_keeps_data(self, mem):
+        mem.claim_pages(7, [1])
+        mem.write(4096, b"secret")
+        mem.release_pages(7, scrub=False)
+        assert mem.read(4096, 6) == b"secret"
+
+    def test_owner_of_addr(self, mem):
+        mem.claim_pages(3, [2])
+        assert mem.owner_of_addr(2 * 4096 + 100) == 3
+
+    def test_find_free_pages_skips_owned(self, mem):
+        mem.claim_pages(1, [0, 2])
+        assert mem.find_free_pages(2) == [1, 3]
+
+    def test_find_free_pages_exhausted(self):
+        small = PhysicalMemory(8192, page_size=4096)
+        small.claim_pages(1, [0, 1])
+        with pytest.raises(OutOfMemoryError):
+            small.find_free_pages(1)
+
+    def test_find_free_range_contiguous(self, mem):
+        mem.claim_pages(1, [1])
+        assert mem.find_free_range(3) == 2
+
+    def test_find_free_range_exhausted(self):
+        small = PhysicalMemory(16384, page_size=4096)
+        small.claim_pages(1, [1, 3])
+        with pytest.raises(OutOfMemoryError):
+            small.find_free_range(2)
+
+    def test_page_index_bounds(self, mem):
+        with pytest.raises(AccessFault):
+            mem.owner_of(mem.n_pages)
+
+
+class TestHostMemory:
+    def test_is_distinct_type(self):
+        host = HostMemory(8192, page_size=4096)
+        assert isinstance(host, PhysicalMemory)
+        host.write(0, b"host")
+        assert host.read(0, 4) == b"host"

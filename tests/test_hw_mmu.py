@@ -1,0 +1,213 @@
+"""Tests for MMU machinery: TLBs, page tables, denylists."""
+
+import pytest
+
+from repro.hw.memory import AccessFault, PhysicalMemory
+from repro.hw.mmu import (
+    DenylistPageTable,
+    GuardedAddressSpace,
+    PageTable,
+    TLB,
+    TLBEntry,
+    TLBLockedError,
+    TLBMiss,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestTLBEntry:
+    def test_translate(self):
+        entry = TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB)
+        assert entry.translate(100) == 2 * MB + 100
+
+    def test_covers(self):
+        entry = TLBEntry(vbase=2 * MB, pbase=0, size=2 * MB)
+        assert entry.covers(2 * MB)
+        assert entry.covers(4 * MB - 1)
+        assert not entry.covers(4 * MB)
+        assert not entry.covers(0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TLBEntry(vbase=0, pbase=0, size=3 * KB)
+
+    def test_rejects_misaligned_bases(self):
+        with pytest.raises(ValueError):
+            TLBEntry(vbase=KB, pbase=0, size=2 * MB)
+        with pytest.raises(ValueError):
+            TLBEntry(vbase=0, pbase=KB, size=2 * MB)
+
+    def test_physical_range(self):
+        entry = TLBEntry(vbase=0, pbase=4 * MB, size=2 * MB)
+        assert entry.physical_range() == (4 * MB, 6 * MB)
+
+
+class TestTLB:
+    def test_install_and_translate(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        assert tlb.translate(123) == 2 * MB + 123
+
+    def test_miss_raises(self):
+        tlb = TLB(capacity=4)
+        with pytest.raises(TLBMiss):
+            tlb.translate(0)
+        assert tlb.misses == 1
+
+    def test_variable_page_sizes(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=128 * KB))
+        tlb.install(TLBEntry(vbase=2 * MB, pbase=4 * MB, size=2 * MB))
+        assert tlb.translate(64 * KB) == 64 * KB
+        assert tlb.translate(3 * MB) == 5 * MB
+
+    def test_lock_prevents_install(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        tlb.lock()
+        with pytest.raises(TLBLockedError):
+            tlb.install(TLBEntry(vbase=2 * MB, pbase=2 * MB, size=2 * MB))
+
+    def test_lock_prevents_clear_without_force(self):
+        tlb = TLB(capacity=4)
+        tlb.lock()
+        with pytest.raises(TLBLockedError):
+            tlb.clear()
+        tlb.clear(force=True)
+        assert not tlb.locked
+
+    def test_capacity_enforced(self):
+        tlb = TLB(capacity=1)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        with pytest.raises(AccessFault):
+            tlb.install(TLBEntry(vbase=2 * MB, pbase=2 * MB, size=2 * MB))
+
+    def test_overlap_rejected(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        with pytest.raises(ValueError):
+            tlb.install(TLBEntry(vbase=0, pbase=4 * MB, size=2 * MB))
+
+    def test_readonly_entry_blocks_writes(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB, writable=False))
+        assert tlb.translate(0, write=False) == 0
+        with pytest.raises(AccessFault):
+            tlb.translate(0, write=True)
+
+    def test_translate_range_contiguous(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        assert tlb.translate_range(0, 1024) == 0
+
+    def test_translate_range_discontiguous_rejected(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        tlb.install(TLBEntry(vbase=2 * MB, pbase=8 * MB, size=2 * MB))
+        with pytest.raises(AccessFault):
+            tlb.translate_range(2 * MB - 512, 1024)
+
+    def test_physical_pages(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        pages = tlb.physical_pages(page_size=MB)
+        assert pages == {2, 3}
+
+    def test_lookup_stats(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        tlb.translate(0)
+        tlb.translate(1)
+        assert tlb.lookups == 2 and tlb.misses == 0
+
+
+class TestPageTable:
+    def test_walk(self):
+        table = PageTable(page_size=4096)
+        table.map(2, 9)
+        assert table.walk(2 * 4096 + 17) == 9 * 4096 + 17
+
+    def test_walk_unmapped_raises(self):
+        with pytest.raises(TLBMiss):
+            PageTable().walk(0)
+
+    def test_map_range(self):
+        table = PageTable()
+        table.map_range(10, [3, 4, 5])
+        assert table.walk(11 * 4096) == 4 * 4096
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map(1, 1)
+        table.unmap(1)
+        with pytest.raises(TLBMiss):
+            table.walk(4096)
+
+    def test_physical_pages_sorted_unique(self):
+        table = PageTable()
+        table.map(0, 5)
+        table.map(1, 3)
+        table.map(2, 5)
+        assert table.physical_pages() == [3, 5]
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            PageTable(page_size=3000)
+
+
+class TestDenylist:
+    def test_deny_and_check(self):
+        denylist = DenylistPageTable(page_size=4096)
+        denylist.deny([5, 6])
+        assert not denylist.check(5 * 4096)
+        assert not denylist.check_page(6)
+        assert denylist.check(4 * 4096)
+
+    def test_allow_restores(self):
+        denylist = DenylistPageTable()
+        denylist.deny([5])
+        denylist.allow([5])
+        assert denylist.check_page(5)
+
+    def test_walk_counter(self):
+        denylist = DenylistPageTable()
+        denylist.check_page(1)
+        denylist.check(4096)
+        assert denylist.walks == 2
+
+    def test_len(self):
+        denylist = DenylistPageTable()
+        denylist.deny(range(10))
+        assert len(denylist) == 10
+
+
+class TestGuardedAddressSpace:
+    def test_load_store_roundtrip(self):
+        mem = PhysicalMemory(8 * MB, page_size=4096)
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        space = GuardedAddressSpace(tlb, mem)
+        space.store(100, b"guarded")
+        assert space.load(100, 7) == b"guarded"
+        assert mem.read(2 * MB + 100, 7) == b"guarded"
+
+    def test_cross_entry_access(self):
+        mem = PhysicalMemory(16 * MB, page_size=4096)
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        tlb.install(TLBEntry(vbase=2 * MB, pbase=8 * MB, size=2 * MB))
+        space = GuardedAddressSpace(tlb, mem)
+        data = b"A" * 100
+        space.store(2 * MB - 50, data)
+        assert space.load(2 * MB - 50, 100) == data
+        # The two halves really landed in the two physical extents.
+        assert mem.read(4 * MB - 50, 50) == b"A" * 50
+        assert mem.read(8 * MB, 50) == b"A" * 50
+
+    def test_unmapped_access_raises(self):
+        mem = PhysicalMemory(8 * MB, page_size=4096)
+        space = GuardedAddressSpace(TLB(capacity=2), mem)
+        with pytest.raises(TLBMiss):
+            space.load(0, 1)

@@ -1,0 +1,181 @@
+"""Tests for ports, rings, and packet input/output modules."""
+
+import pytest
+
+from repro.hw.memory import AccessFault, PhysicalMemory
+from repro.hw.packet_io import (
+    PacketInputModule,
+    PacketOutputModule,
+    PacketRing,
+    RXPort,
+    TXPort,
+)
+from repro.net.packet import Packet
+from repro.net.rules import MatchRule, Prefix, SwitchingRule
+
+
+def make_ring(memory, capacity=8):
+    return PacketRing(
+        memory,
+        data_base=0x10000,
+        data_size=64 * 1024,
+        desc_base=0x30000,
+        capacity=capacity,
+    )
+
+
+class TestPorts:
+    def test_reserve_and_release(self):
+        port = RXPort(capacity_bytes=1000)
+        r = port.reserve(owner=1, size=400)
+        assert r.offset == 0 and r.size == 400
+        r2 = port.reserve(owner=2, size=400)
+        assert r2.offset == 400
+        port.release(1)
+        assert 1 not in port.reservations
+
+    def test_reserve_exhaustion(self):
+        port = RXPort(capacity_bytes=100)
+        port.reserve(owner=1, size=80)
+        with pytest.raises(AccessFault):
+            port.reserve(owner=2, size=40)
+
+    def test_double_reserve_rejected(self):
+        port = RXPort(capacity_bytes=1000)
+        port.reserve(owner=1, size=100)
+        with pytest.raises(AccessFault):
+            port.reserve(owner=1, size=100)
+
+    def test_free_bytes(self):
+        port = TXPort(capacity_bytes=1000)
+        port.reserve(owner=1, size=300)
+        assert port.free_bytes() == 700
+
+    def test_full_release_resets_offsets(self):
+        port = RXPort(capacity_bytes=1000)
+        port.reserve(owner=1, size=900)
+        port.release(1)
+        assert port.reserve(owner=2, size=900).offset == 0
+
+    def test_rx_staging(self):
+        port = RXPort()
+        p = Packet.make("1.1.1.1", "2.2.2.2")
+        port.wire_arrival(p)
+        assert port.drain() == [p]
+        assert port.drain() == []
+
+
+class TestPacketRing:
+    def test_push_pop_roundtrip(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        ring = make_ring(memory)
+        frame = Packet.make("1.1.1.1", "2.2.2.2", payload=b"abc").to_bytes()
+        ring.push(frame)
+        assert ring.pop() == frame
+
+    def test_fifo_order(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        ring = make_ring(memory)
+        frames = [bytes([i]) * 60 for i in range(5)]
+        for f in frames:
+            ring.push(f)
+        assert [ring.pop() for _ in range(5)] == frames
+
+    def test_pop_empty_returns_none(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        assert make_ring(memory).pop() is None
+
+    def test_full_ring_rejects(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        ring = make_ring(memory, capacity=2)
+        ring.push(b"a" * 64)
+        ring.push(b"b" * 64)
+        with pytest.raises(AccessFault):
+            ring.push(b"c" * 64)
+
+    def test_oversized_frame_rejected(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        ring = make_ring(memory)
+        with pytest.raises(AccessFault):
+            ring.push(b"x" * (64 * 1024 + 1))
+
+    def test_descriptors_in_memory(self):
+        """Ring state is ordinary DRAM — an attacker who can read it sees
+        (address, length) pairs, which is the §3.3 attack surface."""
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        ring = make_ring(memory)
+        addr = ring.push(b"z" * 100)
+        descs = ring.peek_descriptors()
+        assert descs == [(addr, 100)]
+        # And the raw frame bytes sit at that physical address.
+        assert memory.read(addr, 100) == b"z" * 100
+
+    def test_data_wraps(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        ring = make_ring(memory, capacity=100)
+        for _ in range(5):
+            ring.push(b"q" * 20000)
+            assert ring.pop() == b"q" * 20000
+
+
+def _rule_for(nf_id, dst):
+    return SwitchingRule(
+        match=MatchRule(dst_prefix=Prefix.parse(dst)), nf_id=nf_id
+    )
+
+
+class TestInputModule:
+    def _setup(self):
+        memory = PhysicalMemory(4 * 1024 * 1024, page_size=4096)
+        rx = RXPort()
+        pim = PacketInputModule(rx)
+        ring1 = PacketRing(memory, 0x10000, 32 * 1024, 0x40000, 16)
+        ring2 = PacketRing(memory, 0x80000, 32 * 1024, 0xC0000, 16)
+        pim.attach_ring(1, ring1)
+        pim.attach_ring(2, ring2)
+        pim.configure_rules([_rule_for(1, "1.0.0.0/8"), _rule_for(2, "2.0.0.0/8")])
+        return rx, pim, ring1, ring2
+
+    def test_classify(self):
+        _, pim, _, _ = self._setup()
+        assert pim.classify(Packet.make("9.9.9.9", "1.2.3.4")) == 1
+        assert pim.classify(Packet.make("9.9.9.9", "2.2.2.2")) == 2
+        assert pim.classify(Packet.make("9.9.9.9", "3.3.3.3")) is None
+
+    def test_process_routes_to_rings(self):
+        rx, pim, ring1, ring2 = self._setup()
+        rx.wire_arrival(Packet.make("9.9.9.9", "1.2.3.4"))
+        rx.wire_arrival(Packet.make("9.9.9.9", "2.2.2.2"))
+        rx.wire_arrival(Packet.make("9.9.9.9", "3.3.3.3"))
+        moved = pim.process()
+        assert moved == 2
+        assert pim.dropped == 1
+        assert ring1.occupancy == 1 and ring2.occupancy == 1
+        assert pim.delivered == {1: 1, 2: 1}
+
+    def test_remove_rules_for(self):
+        rx, pim, _, _ = self._setup()
+        pim.remove_rules_for(1)
+        assert pim.classify(Packet.make("9.9.9.9", "1.2.3.4")) is None
+
+    def test_first_match_wins(self):
+        rx, pim, _, _ = self._setup()
+        pim.configure_rules(
+            [_rule_for(2, "1.2.3.4/32"), _rule_for(1, "1.0.0.0/8")]
+        )
+        assert pim.classify(Packet.make("9.9.9.9", "1.2.3.4")) == 2
+
+
+class TestOutputModule:
+    def test_drains_to_wire(self):
+        memory = PhysicalMemory(1024 * 1024, page_size=4096)
+        tx = TXPort()
+        pom = PacketOutputModule(tx)
+        ring = make_ring(memory)
+        pom.attach_ring(5, ring)
+        ring.push(Packet.make("1.1.1.1", "2.2.2.2").to_bytes())
+        ring.push(Packet.make("1.1.1.1", "3.3.3.3").to_bytes())
+        sent = pom.process()
+        assert sent == 2
+        assert len(tx.transmitted) == 2
+        assert tx.transmitted[0][0] == 5

@@ -1,0 +1,97 @@
+"""Tests for LiquidIO SE-UM's syscall interface and its trust gap.
+
+The syscall configuration stops function-to-function attacks (no
+xkphys), but the kernel still sees and can rewrite every packet — the
+exact gap S-NIC closes with denylisted, function-owned rings.
+"""
+
+import pytest
+
+from repro.commodity.liquidio import LiquidIOKernel, LiquidIONIC, SE_S, SE_UM
+from repro.hw.memory import AccessFault
+from repro.net.packet import Packet, ip_to_str
+from repro.nf.monitor import Monitor
+
+
+@pytest.fixture
+def seum():
+    nic = LiquidIONIC(mode=SE_UM, n_cores=2, xkphys_for_functions=False)
+    kernel = LiquidIOKernel(nic)
+    installed = nic.install_function(Monitor(), core_id=0)
+    return nic, kernel, installed
+
+
+class TestSyscallInterface:
+    def test_only_seum_has_syscalls(self):
+        with pytest.raises(ValueError):
+            LiquidIOKernel(LiquidIONIC(mode=SE_S))
+
+    def test_recv_send_roundtrip(self, seum):
+        nic, kernel, installed = seum
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=9, dst_port=10)
+        nic.deliver_packet(installed.nf_id, packet)
+        received = kernel.sys_recv_packet(installed.nf_id)
+        assert received.five_tuple == packet.five_tuple
+        wire = kernel.sys_send_packet(installed.nf_id, received)
+        assert Packet.from_bytes(wire).five_tuple == packet.five_tuple
+        assert kernel.syscall_count == 2
+
+    def test_recv_empty_returns_none(self, seum):
+        _, kernel, installed = seum
+        assert kernel.sys_recv_packet(installed.nf_id) is None
+
+    def test_functions_cannot_bypass_via_xkphys(self, seum):
+        nic, _, _ = seum
+        with pytest.raises(AccessFault):
+            nic.cores[1].xkphys_read(0, 8)
+
+
+class TestKernelTrustGap:
+    def test_kernel_observes_all_traffic(self, seum):
+        """Even a benign kernel sees every byte (no confidentiality)."""
+        nic, kernel, installed = seum
+        secret = Packet.make("1.1.1.1", "2.2.2.2", payload=b"tls-keys")
+        nic.deliver_packet(installed.nf_id, secret)
+        kernel.sys_recv_packet(installed.nf_id)
+        assert any(b"tls-keys" in frame for frame in kernel.observed_frames)
+
+    def test_compromised_kernel_rewrites_packets(self, seum):
+        """"Functions cannot protect themselves from a buggy or
+        malicious OS" (§3.2): a compromised kernel redirects traffic."""
+        nic, kernel, installed = seum
+
+        def redirect(frame: bytes) -> bytes:
+            packet = Packet.from_bytes(frame)
+            from repro.net.packet import ip_to_int
+
+            packet.ip.dst_ip = ip_to_int("6.6.6.6")  # the attacker's sink
+            return packet.to_bytes()
+
+        kernel.compromise(redirect)
+        nic.deliver_packet(
+            installed.nf_id, Packet.make("1.1.1.1", "2.2.2.2")
+        )
+        received = kernel.sys_recv_packet(installed.nf_id)
+        assert ip_to_str(received.ip.dst_ip) == "6.6.6.6"
+
+    def test_snic_counterpart_blocks_the_same_tampering(self):
+        """On S-NIC the management OS cannot read or rewrite queued
+        packets: the ring lives in denylisted function memory."""
+        from repro.core import IsolationViolation, NFConfig, NICOS, SNIC
+        from repro.core.vpp import VPPConfig
+        from repro.net.rules import MatchRule
+
+        MB = 1024 * 1024
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=91)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="nf", core_ids=(0,), memory_bytes=4 * MB,
+                     vpp=VPPConfig(rules=[MatchRule()]))
+        )
+        snic.rx_port.wire_arrival(Packet.make("1.1.1.1", "2.2.2.2"))
+        snic.process_ingress()
+        addr, length = snic.record(vnic.nf_id).vpp.rx_ring.peek_descriptors()[0]
+        with pytest.raises(IsolationViolation):
+            nic_os.os_read(addr, length)  # cannot even observe
+        with pytest.raises(IsolationViolation):
+            nic_os.os_write(addr + 30, b"\x06\x06\x06\x06")  # or redirect

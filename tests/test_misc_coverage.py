@@ -1,0 +1,228 @@
+"""Coverage for smaller surfaces: cores, DRAM, flows, VirtualNIC edges,
+NIC-OS host DMA, and accelerators carrying real behavioural work."""
+
+import pytest
+
+from repro.core import NFConfig, NICOS, SNIC, IsolationViolation
+from repro.core.vpp import VPPConfig
+from repro.hw.accelerator import AcceleratorKind
+from repro.hw.cores import CoreTimingConfig, ProgrammableCore
+from repro.hw.dram import DRAMModel
+from repro.hw.memory import AccessFault, HostMemory, PhysicalMemory
+from repro.hw.mmu import TLBEntry
+from repro.net.flows import Flow
+from repro.net.packet import FiveTuple, PROTO_TCP, Packet
+from repro.net.rules import MatchRule
+from repro.nf.dpi import AhoCorasick
+
+MB = 1024 * 1024
+
+
+class TestProgrammableCore:
+    def _core(self):
+        memory = PhysicalMemory(16 * MB, page_size=4096)
+        return ProgrammableCore(0, memory), memory
+
+    def test_bind_unbind(self):
+        core, _ = self._core()
+        assert not core.allocated
+        core.bind(7)
+        assert core.allocated and core.owner == 7
+        core.unbind()
+        assert core.owner is None
+
+    def test_double_bind_rejected(self):
+        core, _ = self._core()
+        core.bind(1)
+        with pytest.raises(AccessFault):
+            core.bind(2)
+
+    def test_unbind_clears_tlb(self):
+        core, _ = self._core()
+        core.bind(1)
+        core.tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        core.tlb.lock()
+        core.unbind()
+        assert len(core.tlb) == 0 and not core.tlb.locked
+
+    def test_load_store_through_tlb(self):
+        core, memory = self._core()
+        core.tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        core.store(0x10, b"core-data")
+        assert core.load(0x10, 9) == b"core-data"
+        assert memory.read(2 * MB + 0x10, 9) == b"core-data"
+
+    def test_retire_counter(self):
+        core, _ = self._core()
+        core.retire(100)
+        core.retire(50)
+        assert core.instructions_retired == 150
+        core.unbind()
+        assert core.instructions_retired == 0
+
+    def test_timing_config(self):
+        timing = CoreTimingConfig(frequency_ghz=2.0)
+        assert timing.cycle_ns == pytest.approx(0.5)
+
+
+class TestDRAMModel:
+    def test_transfer_time(self):
+        dram = DRAMModel(access_latency_ns=50.0, bandwidth_bytes_per_ns=10.0)
+        assert dram.transfer_ns(100) == pytest.approx(60.0)
+
+    def test_line_fill(self):
+        dram = DRAMModel()
+        assert dram.line_fill_ns(64) == dram.transfer_ns(64)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMModel().transfer_ns(-1)
+
+
+class TestFlow:
+    def test_make_packet_fields(self):
+        ft = FiveTuple(0x0A000001, 0x0A000002, PROTO_TCP, 1000, 80)
+        flow = Flow(five_tuple=ft)
+        packet = flow.make_packet(payload=b"xy", arrival_ns=77)
+        assert packet.five_tuple == ft
+        assert packet.payload == b"xy"
+        assert packet.arrival_ns == 77
+
+
+class TestVirtualNICEdges:
+    @pytest.fixture
+    def system(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=81)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(
+                name="edge", core_ids=(0,), memory_bytes=4 * MB,
+                vpp=VPPConfig(rules=[MatchRule()]),
+                accelerators=((AcceleratorKind.DPI, 1), (AcceleratorKind.ZIP, 1)),
+            )
+        )
+        return snic, vnic
+
+    def test_properties(self, system):
+        snic, vnic = system
+        assert vnic.name == "edge"
+        assert vnic.core_ids == [0]
+        assert vnic.memory_bytes >= 4 * MB
+
+    def test_receive_empty(self, system):
+        _, vnic = system
+        assert vnic.receive() is None
+        assert vnic.receive_all() == []
+
+    def test_run_respects_max_packets(self, system):
+        snic, vnic = system
+        from repro.nf import Monitor
+
+        for i in range(5):
+            snic.rx_port.wire_arrival(
+                Packet.make("1.1.1.1", "2.2.2.2", src_port=i + 1)
+            )
+        snic.process_ingress()
+        assert vnic.run(Monitor(), max_packets=3) == 3
+        assert len(vnic.receive_all()) == 2
+
+    def test_clusters_by_kind(self, system):
+        _, vnic = system
+        assert len(vnic.clusters(AcceleratorKind.DPI)) == 1
+        assert len(vnic.clusters(AcceleratorKind.ZIP)) == 1
+        assert vnic.clusters(AcceleratorKind.RAID) == []
+
+    def test_accelerate_wrong_kind_raises(self, system):
+        _, vnic = system
+        with pytest.raises(IsolationViolation):
+            vnic.accelerate(AcceleratorKind.RAID, 100)
+
+    def test_accelerator_runs_real_work(self, system):
+        """The behavioural payload: a DPI request actually executes an
+        Aho–Corasick scan over the packet bytes."""
+        _, vnic = system
+        automaton = AhoCorasick([b"malware", b"exploit"])
+        payload = b"___exploit___malware___"
+        request = vnic.accelerate(
+            AcceleratorKind.DPI,
+            len(payload),
+            work=lambda: automaton.search(payload),
+        )
+        matched_ids = {pid for _, pid in request.result}
+        assert matched_ids == {0, 1}
+        assert request.latency_ns > 0
+
+
+class TestNICOSHostDMA:
+    def test_image_pull_from_host(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=82)
+        nic_os = NICOS(snic)
+        host = HostMemory(16 * MB, page_size=4096)
+        image = b"function-image-on-host" * 10
+        host.write(0x4000, image)
+        pulled = nic_os.load_image_from_host(host, 0x4000, len(image))
+        assert pulled == image
+        vnic = nic_os.NF_create(
+            NFConfig(name="from-host", core_ids=(0,), memory_bytes=4 * MB,
+                     initial_image=pulled)
+        )
+        assert vnic.read(0, 22) == image[:22]
+
+    def test_function_dma_windows(self):
+        """End to end: a launched function's DMA bank moves data to the
+        host-sanctioned window and nowhere else."""
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=83)
+        nic_os = NICOS(snic)
+        from repro.hw.dma import DMAWindow
+
+        host = HostMemory(16 * MB, page_size=4096)
+        vnic = nic_os.NF_create(
+            NFConfig(name="dma", core_ids=(0,), memory_bytes=4 * MB,
+                     host_window=DMAWindow(base=1 * MB, size=1 * MB))
+        )
+        vnic.write(0x100, b"results")
+        bank = snic.dma.bank_for_core(0)
+        record = snic.record(vnic.nf_id)
+        bank.to_host(snic.memory, host,
+                     nic_addr=record.extent_base + 0x100,
+                     host_addr=1 * MB + 0x40, n_bytes=7)
+        assert host.read(1 * MB + 0x40, 7) == b"results"
+        with pytest.raises(AccessFault):
+            bank.to_host(snic.memory, host,
+                         nic_addr=record.extent_base, host_addr=0, n_bytes=8)
+
+
+class TestSNICEdges:
+    def test_classify_no_functions(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=84)
+        assert snic.classify(Packet.make("1.1.1.1", "2.2.2.2")) is None
+
+    def test_ingress_backpressure_counts_drops(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=85)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="small-ring", core_ids=(0,), memory_bytes=4 * MB,
+                     vpp=VPPConfig(rules=[MatchRule()], ring_capacity=4))
+        )
+        for i in range(10):
+            snic.rx_port.wire_arrival(
+                Packet.make("1.1.1.1", "2.2.2.2", src_port=i + 1)
+            )
+        delivered = snic.process_ingress()
+        assert delivered[vnic.nf_id] == 4
+        assert delivered[-1] == 6
+
+    def test_core_mask_helper(self):
+        config = NFConfig(name="x", core_ids=(0, 2, 5), memory_bytes=MB)
+        assert config.core_mask() == 0b100101
+
+    def test_instruction_log_grows(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=86)
+        nf_id = snic.nf_launch(
+            NFConfig(name="log", core_ids=(0,), memory_bytes=4 * MB)
+        )
+        snic.nf_teardown(nf_id)
+        names = [name for name, _, _ in snic.instruction_log]
+        assert names == ["nf_launch", "nf_teardown"]
+        latencies = [latency for _, _, latency in snic.instruction_log]
+        assert all(latency > 0 for latency in latencies)

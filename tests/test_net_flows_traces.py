@@ -1,0 +1,118 @@
+"""Tests for repro.net.flows and repro.net.traces."""
+
+import numpy as np
+import pytest
+
+from repro.net.flows import Flow, FlowGenerator, zipf_weights
+from repro.net.traces import (
+    CAIDA_2016_FLOWS,
+    SyntheticTrace,
+    TraceConfig,
+    make_caida_like_trace,
+    make_ictf_like_trace,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert abs(zipf_weights(1000, 1.1).sum() - 1.0) < 1e-12
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(100, 1.1)
+        assert all(w[i] >= w[i + 1] for i in range(99))
+
+    def test_skew_concentrates_head(self):
+        flat = zipf_weights(1000, 0.5)[0]
+        steep = zipf_weights(1000, 2.0)[0]
+        assert steep > flat
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.1)
+
+
+class TestFlowGenerator:
+    def test_deterministic(self):
+        a = FlowGenerator(100, seed=5)
+        b = FlowGenerator(100, seed=5)
+        assert [f.five_tuple for f in a.flows] == [f.five_tuple for f in b.flows]
+
+    def test_distinct_seeds_differ(self):
+        a = FlowGenerator(100, seed=5)
+        b = FlowGenerator(100, seed=6)
+        assert [f.five_tuple for f in a.flows] != [f.five_tuple for f in b.flows]
+
+    def test_flows_unique(self):
+        gen = FlowGenerator(500, seed=1)
+        assert len({f.five_tuple for f in gen.flows}) == 500
+
+    def test_sample_respects_zipf(self):
+        gen = FlowGenerator(1000, zipf_skew=1.1, seed=2)
+        indices = gen.sample_indices(20_000)
+        # Rank 0 should dominate any mid-tail rank.
+        head = int((indices == 0).sum())
+        mid = int((indices == 500).sum())
+        assert head > mid
+
+    def test_packets_have_flow_tuples(self):
+        gen = FlowGenerator(50, seed=3)
+        tuples = {f.five_tuple for f in gen.flows}
+        for packet in gen.packets(100):
+            assert packet.five_tuple in tuples
+
+    def test_packets_fixed_payload_size(self):
+        gen = FlowGenerator(10, seed=4)
+        for packet in gen.packets(20, payload_size=99):
+            assert len(packet.payload) == 99
+
+    def test_packets_arrival_monotone(self):
+        gen = FlowGenerator(10, seed=4)
+        arrivals = [p.arrival_ns for p in gen.packets(50)]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_subsample(self):
+        gen = FlowGenerator(200, seed=7)
+        child = gen.subsample(50)
+        assert child.n_flows == 50
+        parent_tuples = {f.five_tuple for f in gen.flows}
+        assert all(f.five_tuple in parent_tuples for f in child.flows)
+
+    def test_subsample_too_large(self):
+        with pytest.raises(ValueError):
+            FlowGenerator(10, seed=1).subsample(11)
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(ValueError):
+            FlowGenerator(0)
+
+
+class TestTraces:
+    def test_caida_like_scaling(self):
+        trace = make_caida_like_trace(scale=1e-5)
+        assert trace.config.modeled_flows == CAIDA_2016_FLOWS
+        assert trace.config.generated_flows == int(CAIDA_2016_FLOWS * 1e-5)
+        assert len(trace.flows) == trace.config.generated_flows
+
+    def test_ictf_like_default_models_100k(self):
+        trace = make_ictf_like_trace(scale=0.005)
+        assert trace.config.modeled_flows == 100_000
+        assert trace.config.zipf_skew == 1.1
+
+    def test_packets_default_count(self):
+        trace = make_ictf_like_trace(scale=0.002)
+        packets = list(trace.packets(50))
+        assert len(packets) == 50
+
+    def test_window_flow_counts(self):
+        trace = make_ictf_like_trace(scale=0.005)
+        counts = trace.window_flow_counts(4)
+        assert len(counts) == 4
+        assert all(c > 0 for c in counts)
+        # Each window sees at most the generated flow count.
+        assert max(counts) <= trace.config.generated_flows
+
+    def test_deterministic_by_seed(self):
+        a = make_ictf_like_trace(scale=0.002, seed=9)
+        b = make_ictf_like_trace(scale=0.002, seed=9)
+        assert [f.five_tuple for f in a.flows] == [f.five_tuple for f in b.flows]

@@ -1,0 +1,138 @@
+"""Tests for L4 checksums (pseudo-header) and the built-in VTEP path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NFConfig, NICOS, SNIC
+from repro.core.vpp import VPPConfig
+from repro.net.packet import PROTO_UDP, Packet, ip_to_int
+from repro.net.rules import MatchRule
+from repro.net.vxlan import vxlan_encapsulate
+from repro.nf import NAT
+
+MB = 1024 * 1024
+
+
+class TestL4Checksum:
+    def test_fill_then_verify(self):
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=5, dst_port=6,
+                             payload=b"data")
+        packet.fill_l4_checksum()
+        assert packet.l4_checksum_ok()
+
+    def test_unfilled_checksum_usually_wrong(self):
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=5, dst_port=6,
+                             payload=b"data")
+        assert packet.l4.checksum == 0
+        assert not packet.l4_checksum_ok()
+
+    def test_header_rewrite_invalidates(self):
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=5, dst_port=6)
+        packet.fill_l4_checksum()
+        packet.ip.src_ip = ip_to_int("9.9.9.9")  # pseudo-header changed
+        assert not packet.l4_checksum_ok()
+
+    def test_payload_corruption_detected(self):
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=5, dst_port=6,
+                             payload=b"AAAA")
+        packet.fill_l4_checksum()
+        packet.payload = b"AAAB"
+        assert not packet.l4_checksum_ok()
+
+    def test_udp_checksum(self):
+        packet = Packet.make("1.1.1.1", "2.2.2.2", proto=PROTO_UDP,
+                             src_port=53, dst_port=53, payload=b"q")
+        packet.fill_l4_checksum()
+        assert packet.l4_checksum_ok()
+        assert packet.l4.checksum != 0  # RFC 768 never transmits 0
+
+    def test_non_l4_protocols_trivially_ok(self):
+        from repro.net.packet import PROTO_ICMP
+
+        packet = Packet.make("1.1.1.1", "2.2.2.2", proto=PROTO_ICMP)
+        assert packet.l4_checksum_ok()
+        assert packet.compute_l4_checksum() == 0
+
+    @settings(max_examples=30)
+    @given(st.binary(max_size=128),
+           st.integers(0, 65535), st.integers(0, 65535))
+    def test_fill_verify_property(self, payload, sport, dport):
+        packet = Packet.make("3.3.3.3", "4.4.4.4", src_port=sport,
+                             dst_port=dport, payload=payload)
+        packet.fill_l4_checksum()
+        assert packet.l4_checksum_ok()
+
+    def test_survives_wire_roundtrip(self):
+        packet = Packet.make("1.1.1.1", "2.2.2.2", src_port=5, dst_port=6,
+                             payload=b"xyz")
+        packet.fill_l4_checksum()
+        again = Packet.from_bytes(packet.to_bytes())
+        assert again.l4_checksum_ok()
+
+
+class TestNATChecksumDiscipline:
+    def test_outbound_rewrite_keeps_checksum_valid(self):
+        nat = NAT("100.0.0.1")
+        packet = Packet.make("10.0.0.5", "8.8.8.8", src_port=4000, dst_port=80,
+                             payload=b"GET /")
+        packet.fill_l4_checksum()
+        out = nat.process(packet)
+        assert out.l4_checksum_ok()
+
+    def test_inbound_rewrite_keeps_checksum_valid(self):
+        nat = NAT("100.0.0.1")
+        out = nat.process(
+            Packet.make("10.0.0.5", "8.8.8.8", src_port=4000, dst_port=80)
+        )
+        reply = Packet.make("8.8.8.8", "100.0.0.1", src_port=80,
+                            dst_port=out.l4.src_port)
+        reply.fill_l4_checksum()
+        back = nat.process(reply)
+        assert back.l4_checksum_ok()
+
+
+class TestBuiltInVTEP:
+    def test_ingress_decapsulates_and_matches_vni(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=98)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="tenant", core_ids=(0,), memory_bytes=4 * MB,
+                     vpp=VPPConfig(rules=[MatchRule(vni=4100)]))
+        )
+        inner = Packet.make("192.168.0.1", "192.168.0.2",
+                            src_port=1, dst_port=2, payload=b"tenant-l2")
+        outer = vxlan_encapsulate(
+            inner, vni=4100,
+            outer_src_ip=ip_to_int("100.64.0.1"),
+            outer_dst_ip=ip_to_int("100.64.0.2"),
+        )
+        snic.rx_port.wire_arrival(outer)  # raw transport from the wire
+        delivered = snic.process_ingress()
+        assert delivered == {vnic.nf_id: 1}
+        received = vnic.receive()
+        assert received.payload == b"tenant-l2"
+
+    def test_wrong_vni_dropped(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=99)
+        nic_os = NICOS(snic)
+        nic_os.NF_create(
+            NFConfig(name="tenant", core_ids=(0,), memory_bytes=4 * MB,
+                     vpp=VPPConfig(rules=[MatchRule(vni=4100)]))
+        )
+        inner = Packet.make("192.168.0.1", "192.168.0.2")
+        outer = vxlan_encapsulate(inner, vni=999, outer_src_ip=1, outer_dst_ip=2)
+        snic.rx_port.wire_arrival(outer)
+        assert snic.process_ingress() == {-1: 1}
+
+    def test_malformed_vxlan_falls_back_to_outer(self):
+        snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=100)
+        nic_os = NICOS(snic)
+        vnic = nic_os.NF_create(
+            NFConfig(name="udp-catcher", core_ids=(0,), memory_bytes=4 * MB,
+                     vpp=VPPConfig(rules=[MatchRule(proto=PROTO_UDP)]))
+        )
+        bogus = Packet.make("1.1.1.1", "2.2.2.2", proto=PROTO_UDP,
+                            src_port=5, dst_port=4789, payload=b"\x00\x00")
+        snic.rx_port.wire_arrival(bogus)
+        delivered = snic.process_ingress()
+        assert delivered == {vnic.nf_id: 1}  # classified as plain UDP

@@ -1,0 +1,147 @@
+"""Tests for repro.net.rules: prefixes, match rules, rule tables."""
+
+import pytest
+
+from repro.net.packet import FiveTuple, PROTO_TCP, PROTO_UDP, Packet, ip_to_int
+from repro.net.rules import (
+    MatchRule,
+    PortRange,
+    Prefix,
+    RuleAction,
+    RuleTable,
+    SwitchingRule,
+)
+
+
+class TestPrefix:
+    def test_parse_with_length(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.length == 8 and p.address == ip_to_int("10.0.0.0")
+
+    def test_parse_bare_is_host(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_contains(self):
+        p = Prefix.parse("192.168.0.0/16")
+        assert p.contains(ip_to_int("192.168.55.1"))
+        assert not p.contains(ip_to_int("192.169.0.1"))
+
+    def test_zero_length_matches_all(self):
+        p = Prefix.parse("0.0.0.0/0")
+        assert p.contains(0) and p.contains(0xFFFFFFFF)
+
+    def test_host_prefix_exact(self):
+        p = Prefix.parse("1.2.3.4/32")
+        assert p.contains(ip_to_int("1.2.3.4"))
+        assert not p.contains(ip_to_int("1.2.3.5"))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("1.2.3.4/33")
+
+    def test_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_mask(self):
+        assert Prefix.parse("0.0.0.0/0").mask == 0
+        assert Prefix.parse("1.0.0.0/8").mask == 0xFF000000
+
+
+class TestPortRange:
+    def test_default_matches_all(self):
+        assert PortRange().contains(0) and PortRange().contains(65535)
+
+    def test_inclusive_bounds(self):
+        r = PortRange(80, 81)
+        assert r.contains(80) and r.contains(81) and not r.contains(82)
+
+
+def _ft(src="1.1.1.1", dst="2.2.2.2", proto=PROTO_TCP, sport=1000, dport=80):
+    return FiveTuple(ip_to_int(src), ip_to_int(dst), proto, sport, dport)
+
+
+class TestMatchRule:
+    def test_empty_rule_matches_everything(self):
+        assert MatchRule().matches(_ft())
+
+    def test_proto_filter(self):
+        rule = MatchRule(proto=PROTO_UDP)
+        assert not rule.matches(_ft(proto=PROTO_TCP))
+        assert rule.matches(_ft(proto=PROTO_UDP))
+
+    def test_src_prefix_filter(self):
+        rule = MatchRule(src_prefix=Prefix.parse("1.0.0.0/8"))
+        assert rule.matches(_ft(src="1.9.9.9"))
+        assert not rule.matches(_ft(src="2.9.9.9"))
+
+    def test_dst_prefix_filter(self):
+        rule = MatchRule(dst_prefix=Prefix.parse("2.2.2.2/32"))
+        assert rule.matches(_ft(dst="2.2.2.2"))
+        assert not rule.matches(_ft(dst="2.2.2.3"))
+
+    def test_port_filters(self):
+        rule = MatchRule(dst_ports=PortRange(80, 80), src_ports=PortRange(1000, 2000))
+        assert rule.matches(_ft(sport=1500, dport=80))
+        assert not rule.matches(_ft(sport=999, dport=80))
+        assert not rule.matches(_ft(sport=1500, dport=81))
+
+    def test_vni_filter(self):
+        rule = MatchRule(vni=7)
+        assert rule.matches(_ft(), vni=7)
+        assert not rule.matches(_ft(), vni=8)
+        assert not rule.matches(_ft(), vni=None)
+
+    def test_no_vni_filter_ignores_vni(self):
+        assert MatchRule().matches(_ft(), vni=99)
+
+    def test_matches_packet(self):
+        p = Packet.make("1.1.1.1", "2.2.2.2", src_port=5, dst_port=80)
+        assert MatchRule(dst_ports=PortRange(80, 80)).matches_packet(p)
+
+
+class TestRuleTable:
+    def test_first_match_in_order(self):
+        table = RuleTable(
+            [
+                MatchRule(proto=PROTO_TCP, action=RuleAction.DROP),
+                MatchRule(action=RuleAction.ACCEPT),
+            ]
+        )
+        assert table.lookup(_ft(proto=PROTO_TCP)).action is RuleAction.DROP
+        assert table.lookup(_ft(proto=PROTO_UDP)).action is RuleAction.ACCEPT
+
+    def test_priority_wins_over_insertion(self):
+        low = MatchRule(action=RuleAction.ACCEPT, priority=0)
+        high = MatchRule(action=RuleAction.DROP, priority=10)
+        table = RuleTable([low, high])
+        assert table.lookup(_ft()).action is RuleAction.DROP
+
+    def test_equal_priority_stable(self):
+        first = MatchRule(action=RuleAction.DROP, priority=5)
+        second = MatchRule(action=RuleAction.ACCEPT, priority=5)
+        table = RuleTable([first, second])
+        assert table.lookup(_ft()).action is RuleAction.DROP
+
+    def test_no_match_returns_none(self):
+        table = RuleTable([MatchRule(proto=PROTO_UDP)])
+        assert table.lookup(_ft(proto=PROTO_TCP)) is None
+
+    def test_len_and_iter(self):
+        rules = [MatchRule(), MatchRule(proto=PROTO_TCP)]
+        table = RuleTable(rules)
+        assert len(table) == 2
+        assert len(list(table)) == 2
+
+    def test_lookup_packet_uses_vni(self):
+        p = Packet.make("1.1.1.1", "2.2.2.2")
+        p.vni = 3
+        table = RuleTable([MatchRule(vni=3, action=RuleAction.DROP)])
+        assert table.lookup_packet(p).action is RuleAction.DROP
+
+
+class TestSwitchingRule:
+    def test_binds_nf(self):
+        rule = SwitchingRule(match=MatchRule(proto=PROTO_TCP), nf_id=7)
+        p = Packet.make("1.1.1.1", "2.2.2.2")
+        assert rule.matches_packet(p)
+        assert rule.nf_id == 7

@@ -1,0 +1,88 @@
+"""Tests for repro.net.vxlan: RFC 7348 encapsulation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import PROTO_UDP, Packet, UDPHeader, ip_to_int
+from repro.net.vxlan import (
+    VXLAN_UDP_PORT,
+    VXLANHeader,
+    vxlan_decapsulate,
+    vxlan_encapsulate,
+)
+
+
+class TestVXLANHeader:
+    def test_roundtrip(self):
+        h = VXLANHeader(vni=0xABCDE)
+        assert VXLANHeader.unpack(h.pack()) == h
+
+    def test_pack_length(self):
+        assert len(VXLANHeader(vni=1).pack()) == 8
+
+    def test_rejects_out_of_range_vni(self):
+        with pytest.raises(ValueError):
+            VXLANHeader(vni=1 << 24)
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            VXLANHeader.unpack(b"\x08\x00")
+
+    def test_rejects_missing_vni_flag(self):
+        raw = bytearray(VXLANHeader(vni=5).pack())
+        raw[0] = 0
+        with pytest.raises(ValueError):
+            VXLANHeader.unpack(bytes(raw))
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_vni_roundtrip_property(self, vni):
+        assert VXLANHeader.unpack(VXLANHeader(vni=vni).pack()).vni == vni
+
+
+class TestEncapDecap:
+    def _inner(self):
+        return Packet.make(
+            "192.168.1.1", "192.168.1.2", src_port=5, dst_port=6, payload=b"data"
+        )
+
+    def test_roundtrip(self):
+        inner = self._inner()
+        outer = vxlan_encapsulate(
+            inner, vni=100, outer_src_ip=ip_to_int("1.1.1.1"),
+            outer_dst_ip=ip_to_int("2.2.2.2"),
+        )
+        vni, decapsulated = vxlan_decapsulate(outer)
+        assert vni == 100
+        assert decapsulated.vni == 100
+        assert decapsulated.five_tuple == inner.five_tuple
+        assert decapsulated.payload == b"data"
+
+    def test_outer_transport_shape(self):
+        outer = vxlan_encapsulate(
+            self._inner(), vni=1, outer_src_ip=1, outer_dst_ip=2
+        )
+        assert outer.ip.proto == PROTO_UDP
+        assert isinstance(outer.l4, UDPHeader)
+        assert outer.l4.dst_port == VXLAN_UDP_PORT
+
+    def test_outer_survives_wire_roundtrip(self):
+        outer = vxlan_encapsulate(
+            self._inner(), vni=77, outer_src_ip=3, outer_dst_ip=4
+        )
+        reparsed = Packet.from_bytes(outer.to_bytes())
+        vni, inner = vxlan_decapsulate(reparsed)
+        assert vni == 77
+        assert inner.payload == b"data"
+
+    def test_decap_rejects_non_vxlan(self):
+        plain = self._inner()
+        with pytest.raises(ValueError):
+            vxlan_decapsulate(plain)
+
+    def test_decap_preserves_arrival_time(self):
+        outer = vxlan_encapsulate(
+            self._inner(), vni=1, outer_src_ip=1, outer_dst_ip=2
+        )
+        outer.arrival_ns = 555
+        _, inner = vxlan_decapsulate(outer)
+        assert inner.arrival_ns == 555

@@ -1,0 +1,165 @@
+"""Tests for TCP connection tracking and the strict stateful firewall."""
+
+import pytest
+
+from repro.net.packet import (
+    PROTO_UDP,
+    Packet,
+    TCP_FLAG_ACK,
+    TCP_FLAG_FIN,
+    TCP_FLAG_RST,
+    TCP_FLAG_SYN,
+)
+from repro.net.rules import RuleTable
+from repro.nf import ConnState, ConnectionTracker, StatefulFirewall, Verdict
+
+
+def tcp(src="10.0.0.1", dst="20.0.0.1", sport=1000, dport=80, flags=TCP_FLAG_ACK):
+    packet = Packet.make(src, dst, src_port=sport, dst_port=dport)
+    packet.l4.flags = flags
+    return packet
+
+
+def reply(flags):
+    return tcp(src="20.0.0.1", dst="10.0.0.1", sport=80, dport=1000, flags=flags)
+
+
+def handshake(tracker):
+    assert tracker.update(tcp(flags=TCP_FLAG_SYN)) is Verdict.NEW
+    assert tracker.update(reply(TCP_FLAG_SYN | TCP_FLAG_ACK)) is Verdict.VALID
+    assert tracker.update(tcp(flags=TCP_FLAG_ACK)) is Verdict.VALID
+
+
+class TestHandshake:
+    def test_three_way_handshake(self):
+        tracker = ConnectionTracker()
+        handshake(tracker)
+        assert tracker.state_of(tcp().five_tuple) is ConnState.ESTABLISHED
+
+    def test_state_visible_from_both_directions(self):
+        tracker = ConnectionTracker()
+        handshake(tracker)
+        assert tracker.state_of(reply(0).five_tuple) is ConnState.ESTABLISHED
+
+    def test_syn_retransmission_valid(self):
+        tracker = ConnectionTracker()
+        tracker.update(tcp(flags=TCP_FLAG_SYN))
+        assert tracker.update(tcp(flags=TCP_FLAG_SYN)) is Verdict.VALID
+
+    def test_synack_retransmission_valid(self):
+        tracker = ConnectionTracker()
+        tracker.update(tcp(flags=TCP_FLAG_SYN))
+        tracker.update(reply(TCP_FLAG_SYN | TCP_FLAG_ACK))
+        assert (
+            tracker.update(reply(TCP_FLAG_SYN | TCP_FLAG_ACK)) is Verdict.VALID
+        )
+
+
+class TestInvalidTraffic:
+    def test_unsolicited_ack_invalid(self):
+        tracker = ConnectionTracker()
+        assert tracker.update(tcp(flags=TCP_FLAG_ACK)) is Verdict.INVALID
+        assert tracker.invalid_packets == 1
+
+    def test_unsolicited_synack_invalid(self):
+        tracker = ConnectionTracker()
+        assert (
+            tracker.update(tcp(flags=TCP_FLAG_SYN | TCP_FLAG_ACK))
+            is Verdict.INVALID
+        )
+
+    def test_traffic_after_close_invalid(self):
+        tracker = ConnectionTracker()
+        handshake(tracker)
+        tracker.update(tcp(flags=TCP_FLAG_RST))
+        assert tracker.update(tcp(flags=TCP_FLAG_ACK)) is Verdict.INVALID
+
+    def test_udp_untracked(self):
+        tracker = ConnectionTracker()
+        packet = Packet.make("1.1.1.1", "2.2.2.2", proto=PROTO_UDP,
+                             src_port=1, dst_port=2)
+        assert tracker.update(packet) is Verdict.VALID
+        assert len(tracker) == 0
+
+
+class TestTeardown:
+    def test_fin_fin_closes(self):
+        tracker = ConnectionTracker()
+        handshake(tracker)
+        tracker.update(tcp(flags=TCP_FLAG_FIN | TCP_FLAG_ACK))
+        assert tracker.state_of(tcp().five_tuple) is ConnState.FIN_WAIT
+        tracker.update(reply(TCP_FLAG_FIN | TCP_FLAG_ACK))
+        assert tracker.state_of(tcp().five_tuple) is ConnState.CLOSED
+
+    def test_rst_closes_immediately(self):
+        tracker = ConnectionTracker()
+        handshake(tracker)
+        tracker.update(reply(TCP_FLAG_RST))
+        assert tracker.state_of(tcp().five_tuple) is ConnState.CLOSED
+
+    def test_purge_closed(self):
+        tracker = ConnectionTracker()
+        handshake(tracker)
+        tracker.update(tcp(flags=TCP_FLAG_RST))
+        assert tracker.purge_closed() == 1
+        assert len(tracker) == 0
+
+    def test_eviction_replaces_closed(self):
+        tracker = ConnectionTracker(max_connections=1)
+        handshake(tracker)
+        tracker.update(tcp(flags=TCP_FLAG_RST))
+        # A second connection evicts the closed one rather than failing.
+        assert tracker.update(tcp(sport=2000, flags=TCP_FLAG_SYN)) is Verdict.NEW
+        assert len(tracker) == 1
+
+    def test_table_full_of_live_connections(self):
+        tracker = ConnectionTracker(max_connections=1)
+        handshake(tracker)
+        with pytest.raises(MemoryError):
+            tracker.update(tcp(sport=2000, flags=TCP_FLAG_SYN))
+
+
+class TestStatefulFirewall:
+    def test_accepts_proper_connection(self):
+        fw = StatefulFirewall(RuleTable())
+        assert fw.process(tcp(flags=TCP_FLAG_SYN)) is not None
+        assert fw.process(reply(TCP_FLAG_SYN | TCP_FLAG_ACK)) is not None
+        assert fw.process(tcp(flags=TCP_FLAG_ACK)) is not None
+        assert fw.invalid_drops == 0
+
+    def test_drops_unsolicited_midstream_segment(self):
+        """The discipline a plain rule firewall cannot express: even an
+        ACCEPT-all ruleset drops out-of-state TCP."""
+        fw = StatefulFirewall(RuleTable())
+        assert fw.process(tcp(flags=TCP_FLAG_ACK)) is None
+        assert fw.invalid_drops == 1
+
+    def test_drops_after_rst(self):
+        fw = StatefulFirewall(RuleTable())
+        fw.process(tcp(flags=TCP_FLAG_SYN))
+        fw.process(reply(TCP_FLAG_SYN | TCP_FLAG_ACK))
+        fw.process(tcp(flags=TCP_FLAG_ACK))
+        fw.process(tcp(flags=TCP_FLAG_RST))
+        assert fw.process(tcp(flags=TCP_FLAG_ACK)) is None
+
+    def test_rule_drop_happens_before_tracking(self):
+        from repro.net.rules import MatchRule, PortRange, RuleAction
+
+        rules = RuleTable(
+            [MatchRule(dst_ports=PortRange(80, 80), action=RuleAction.DROP)]
+        )
+        fw = StatefulFirewall(rules)
+        assert fw.process(tcp(flags=TCP_FLAG_SYN)) is None
+        assert len(fw.conntrack) == 0  # dropped packets are not tracked
+
+    def test_reset_clears_conntrack(self):
+        fw = StatefulFirewall(RuleTable())
+        fw.process(tcp(flags=TCP_FLAG_SYN))
+        fw.reset()
+        assert len(fw.conntrack) == 0 and fw.invalid_drops == 0
+
+    def test_state_bytes_includes_connections(self):
+        fw = StatefulFirewall(RuleTable())
+        before = fw.state_bytes()
+        fw.process(tcp(flags=TCP_FLAG_SYN))
+        assert fw.state_bytes() > before

@@ -1,0 +1,140 @@
+"""Tests for the explicitly-resizing hash map (Figure 7's engine)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nf.hashmap import ResizingHashMap
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        m = ResizingHashMap()
+        m.put("a", 1)
+        assert m.get("a") == 1
+        assert len(m) == 1
+
+    def test_get_missing_default(self):
+        m = ResizingHashMap()
+        assert m.get("missing") is None
+        assert m.get("missing", 7) == 7
+
+    def test_overwrite(self):
+        m = ResizingHashMap()
+        m.put("a", 1)
+        m.put("a", 2)
+        assert m.get("a") == 2
+        assert len(m) == 1
+
+    def test_contains(self):
+        m = ResizingHashMap()
+        m.put("a", 1)
+        assert "a" in m and "b" not in m
+
+    def test_remove(self):
+        m = ResizingHashMap()
+        m.put("a", 1)
+        assert m.remove("a") is True
+        assert "a" not in m and len(m) == 0
+        assert m.remove("a") is False
+
+    def test_reinsert_after_remove(self):
+        m = ResizingHashMap(initial_capacity=4)
+        m.put("a", 1)
+        m.remove("a")
+        m.put("a", 2)
+        assert m.get("a") == 2
+
+    def test_items(self):
+        m = ResizingHashMap()
+        for i in range(10):
+            m.put(i, i * i)
+        assert dict(m.items()) == {i: i * i for i in range(10)}
+
+    def test_clear(self):
+        m = ResizingHashMap()
+        m.put("a", 1)
+        m.clear()
+        assert len(m) == 0 and "a" not in m
+
+    def test_capacity_rounds_to_power_of_two(self):
+        assert ResizingHashMap(initial_capacity=20).capacity == 32
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ResizingHashMap(initial_capacity=0)
+        with pytest.raises(ValueError):
+            ResizingHashMap(max_load_factor=1.5)
+
+
+class TestResizing:
+    def test_grows_at_load_factor(self):
+        m = ResizingHashMap(initial_capacity=8, max_load_factor=0.5)
+        for i in range(5):
+            m.put(i, i)
+        assert m.capacity > 8
+        assert len(m.resize_events) >= 1
+
+    def test_data_survives_resize(self):
+        m = ResizingHashMap(initial_capacity=4)
+        for i in range(1000):
+            m.put(i, -i)
+        assert all(m.get(i) == -i for i in range(1000))
+
+    def test_resize_events_double(self):
+        m = ResizingHashMap(initial_capacity=4)
+        for i in range(100):
+            m.put(i, i)
+        for event in m.resize_events:
+            assert event.new_capacity == 2 * event.old_capacity
+
+    def test_transient_accounts_old_plus_new(self):
+        m = ResizingHashMap(initial_capacity=4, entry_bytes=100)
+        for i in range(100):
+            m.put(i, i)
+        last = m.resize_events[-1]
+        expected = (last.old_capacity + last.new_capacity) * 100
+        assert m.peak_transient_bytes >= expected
+        assert m.peak_transient_bytes >= m.table_bytes
+
+    def test_table_bytes(self):
+        m = ResizingHashMap(initial_capacity=16, entry_bytes=10)
+        assert m.table_bytes == 160
+
+    def test_tombstones_trigger_growth_cleanup(self):
+        m = ResizingHashMap(initial_capacity=8, max_load_factor=0.6)
+        for round_num in range(50):
+            m.put(("k", round_num), round_num)
+            m.remove(("k", round_num))
+        # churn must not corrupt the table
+        m.put("final", 42)
+        assert m.get("final") == 42
+
+
+class TestAgainstDict:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "remove", "get"]),
+                st.integers(min_value=0, max_value=50),
+                st.integers(),
+            ),
+            max_size=200,
+        )
+    )
+    def test_behaves_like_dict(self, operations):
+        """Differential property test against Python's dict."""
+        ours = ResizingHashMap(initial_capacity=4)
+        reference = {}
+        for op, key, value in operations:
+            if op == "put":
+                ours.put(key, value)
+                reference[key] = value
+            elif op == "remove":
+                expected = key in reference
+                reference.pop(key, None)
+                assert ours.remove(key) == expected
+            else:
+                assert ours.get(key) == reference.get(key)
+        assert len(ours) == len(reference)
+        assert dict(ours.items()) == reference

@@ -1,0 +1,64 @@
+"""Tests for the trace-driven colocation backend and its agreement with
+the analytic (Che) pipeline."""
+
+import pytest
+
+from repro.perf.colocation import ipc_degradation
+from repro.perf.simulate import (
+    simulate_colocation,
+    simulated_ipc_degradation,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestSimulateColocation:
+    def test_counts_sum_to_one(self):
+        tenants = simulate_colocation(["FW", "LB"], 1 * MB, n_refs=5_000)
+        for tenant in tenants:
+            assert tenant.counts.total == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = simulate_colocation(["FW", "LB"], 1 * MB, n_refs=5_000, seed=3)
+        b = simulate_colocation(["FW", "LB"], 1 * MB, n_refs=5_000, seed=3)
+        assert [t.counts for t in a] == [t.counts for t in b]
+
+    def test_partitioning_cannot_help_the_heavy_tenant(self):
+        """Against a light partner, hard partitioning gives the heavy
+        tenant at most what sharing gave it."""
+        shared = simulate_colocation(["FW", "LB"], 512 * KB, n_refs=20_000)
+        isolated = simulate_colocation(
+            ["FW", "LB"], 512 * KB, n_refs=20_000, partitioned=True
+        )
+        assert isolated[0].l2_hit_rate <= shared[0].l2_hit_rate + 0.02
+
+    def test_bigger_l2_helps(self):
+        small = simulate_colocation(["DPI", "NAT"], 256 * KB, n_refs=20_000)
+        large = simulate_colocation(["DPI", "NAT"], 4 * MB, n_refs=20_000)
+        assert large[0].l2_hit_rate > small[0].l2_hit_rate
+
+    def test_degradation_non_negative_and_bounded(self):
+        value = simulated_ipc_degradation("FW", ("LB",), 1 * MB, n_refs=10_000)
+        assert 0.0 <= value < 0.5
+
+
+class TestBackendsAgree:
+    """End-to-end cross-validation: the analytic pipeline must land in
+    the same ballpark as the trace-driven simulation."""
+
+    @pytest.mark.parametrize(
+        "focal,partner,l2",
+        [("FW", "LB", 1 * MB), ("DPI", "Mon", 2 * MB), ("NAT", "LPM", 1 * MB)],
+    )
+    def test_same_ballpark(self, focal, partner, l2):
+        simulated = simulated_ipc_degradation(focal, (partner,), l2, n_refs=30_000)
+        analytic = ipc_degradation(focal, (partner,), l2)
+        # Both backends see single-digit-percent degradations; demand
+        # agreement within 3 percentage points.
+        assert abs(simulated - analytic) < 0.03
+
+    def test_both_small_at_large_cache(self):
+        simulated = simulated_ipc_degradation("LB", ("Mon",), 8 * MB, n_refs=20_000)
+        analytic = ipc_degradation("LB", ("Mon",), 8 * MB)
+        assert simulated < 0.02 and analytic < 0.02

@@ -1,0 +1,36 @@
+"""Smoke tests for the report module and the CLI entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+class TestCLI:
+    def test_info(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"], capture_output=True, text=True
+        )
+        assert completed.returncode == 0
+        assert "S-NIC" in completed.stdout
+        assert "subpackages" in completed.stdout
+
+    def test_unknown_command(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "bogus"],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 2
+        assert "unknown command" in completed.stderr
+
+
+class TestReport:
+    def test_report_runs_and_mentions_headlines(self, capsys):
+        from repro.report import main
+
+        main()
+        out = capsys.readouterr().out
+        assert "8.89%" in out          # paper's area headline
+        assert "reproduced" in out
+        assert "attacks" in out.lower()
+        assert "watermark" in out.lower()

@@ -1,0 +1,138 @@
+"""Hypothesis *stateful* testing of S-NIC resource bookkeeping.
+
+A random machine drives launch/teardown sequences against one SNIC and
+checks the global invariants after every step:
+
+* every physical page is owned by the NIC OS, a live function, or free;
+* the denylist is exactly the union of live functions' pages;
+* every bound core belongs to a live function, and vice versa;
+* every allocated accelerator cluster belongs to a live function;
+* cache partitions and bus domains track exactly the live functions;
+* port reservations track exactly the live functions.
+
+This is the kind of test that catches leaks an example-based suite
+misses: hypothesis shrinks any violating sequence to a minimal one.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import LaunchError, NFConfig, SNIC
+from repro.core.cache_policy import NIC_OS_OWNER
+from repro.hw.accelerator import AcceleratorKind
+
+MB = 1024 * 1024
+
+
+class SNICMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.snic = SNIC(n_cores=4, dram_bytes=256 * MB, key_seed=7)
+        self.live = set()
+
+    # ------------------------------------------------------------------
+
+    @rule(
+        cores=st.sets(st.integers(0, 3), min_size=1, max_size=2),
+        memory_mb=st.sampled_from([2, 4, 8]),
+        want_dpi=st.booleans(),
+    )
+    def launch(self, cores, memory_mb, want_dpi):
+        accelerators = ((AcceleratorKind.DPI, 1),) if want_dpi else ()
+        try:
+            nf_id = self.snic.nf_launch(
+                NFConfig(
+                    name=f"nf-{len(self.live)}",
+                    core_ids=tuple(sorted(cores)),
+                    memory_bytes=memory_mb * MB,
+                    accelerators=accelerators,
+                )
+            )
+        except LaunchError:
+            return  # resources busy: a legal rejection
+        self.live.add(nf_id)
+
+    # NB: named `destroy` because `teardown` is the state machine's own
+    # cleanup hook.
+    @rule(which=st.integers(0, 10))
+    def destroy(self, which):
+        if not self.live:
+            return
+        nf_id = sorted(self.live)[which % len(self.live)]
+        self.snic.nf_teardown(nf_id)
+        self.live.discard(nf_id)
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def live_set_matches_device(self):
+        assert set(self.snic.live_functions) == self.live
+
+    @invariant()
+    def page_ownership_consistent(self):
+        live_pages = set()
+        for nf_id in self.live:
+            live_pages.update(self.snic.record(nf_id).pages)
+        for page in range(self.snic.memory.n_pages):
+            owner = self.snic.memory.owner_of(page)
+            if owner is None:
+                assert page not in live_pages
+            elif owner == NIC_OS_OWNER:
+                assert page < self.snic._nic_os_pages
+            else:
+                assert owner in self.live
+                assert page in self.snic.record(owner).pages
+
+    @invariant()
+    def denylist_is_exactly_live_pages(self):
+        live_pages = set()
+        for nf_id in self.live:
+            live_pages.update(self.snic.record(nf_id).pages)
+        assert self.snic.denylist.denied_pages() == live_pages
+
+    @invariant()
+    def cores_consistent(self):
+        bound = {}
+        for core in self.snic.cores:
+            if core.owner is not None:
+                bound.setdefault(core.owner, set()).add(core.core_id)
+        expected = {
+            nf_id: set(self.snic.record(nf_id).config.core_ids)
+            for nf_id in self.live
+        }
+        assert bound == {k: v for k, v in expected.items() if v}
+
+    @invariant()
+    def clusters_consistent(self):
+        for engine in self.snic.engines.values():
+            for cluster in engine.clusters:
+                if cluster.owner is not None:
+                    assert cluster.owner in self.live
+
+    @invariant()
+    def bus_domains_track_live(self):
+        assert set(self.snic.bus.arbiter.domains) == {NIC_OS_OWNER} | self.live
+
+    @invariant()
+    def port_reservations_track_live(self):
+        assert set(self.snic.rx_port.reservations) == self.live
+        assert set(self.snic.tx_port.reservations) == self.live
+
+    @invariant()
+    def cache_partitions_track_live(self):
+        if self.live:
+            for nf_id in self.live:
+                assert self.snic.l2.ways_for(nf_id) >= 1
+
+
+TestSNICStateful = SNICMachine.TestCase
+TestSNICStateful.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
