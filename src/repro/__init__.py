@@ -33,6 +33,11 @@ Subpackages
 ``repro.perf``
     The Figure 5 IPC-degradation experiments (Che's approximation +
     trace-driven cross-validation).
+``repro.obs``
+    Unified observability: a tenant-tagged span/event tracer hooked
+    into every hardware layer, a metrics registry (counters, gauges,
+    histograms), and Chrome ``trace_event`` / CSV / JSON exporters
+    (``python -m repro trace``).
 
 Quickstart
 ----------
@@ -56,5 +61,6 @@ __all__ = [
     "hw",
     "net",
     "nf",
+    "obs",
     "perf",
 ]

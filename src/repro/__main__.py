@@ -4,6 +4,9 @@ Commands:
 
 * ``report``  — the headline paper-vs-reproduced evaluation summary
 * ``attacks`` — replay the §3.3 attacks (commodity vs S-NIC)
+* ``trace``   — run the two-tenant co-tenancy demo with tracing on and
+  write a Chrome/Perfetto-loadable ``trace_event`` JSON
+  (``python -m repro trace -o snic_trace.json``)
 * ``info``    — version + package inventory (default)
 """
 
@@ -18,15 +21,58 @@ def _info() -> None:
     print(f"repro {repro.__version__} — S-NIC (EuroSys 2024) reproduction")
     print("subpackages:", ", ".join(repro.__all__))
     print()
-    print("commands: python -m repro [info|report|attacks]")
+    print("commands: python -m repro [info|report|attacks|trace]")
     print("tests:    pytest tests/")
     print("benches:  pytest benchmarks/ --benchmark-only -s")
+
+
+def _trace(argv: list) -> int:
+    """``python -m repro trace [-o trace.json] [-m metrics.json] [-n N]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run a small two-tenant co-tenancy scenario with the "
+                    "repro.obs tracer enabled and export a Chrome "
+                    "trace_event JSON (load it in chrome://tracing or "
+                    "https://ui.perfetto.dev).",
+    )
+    parser.add_argument("-o", "--out", default="snic_trace.json",
+                        help="trace output path (default: snic_trace.json)")
+    parser.add_argument("-m", "--metrics", default=None,
+                        help="also dump the metrics registry as JSON here")
+    parser.add_argument("-n", "--packets", type=int, default=60,
+                        help="packets to inject across the two tenants")
+    args = parser.parse_args(argv)
+
+    from repro.obs import export, get_registry
+    from repro.obs.scenario import run_cotenancy_scenario
+
+    summary = run_cotenancy_scenario(
+        out_path=args.out, n_packets=args.packets, metrics_path=args.metrics)
+    print(f"wrote {summary['trace_path']}: {summary['events']} events, "
+          f"{summary['spans']} spans")
+    print(f"  tenants: {summary['tenants']}")
+    print(f"  layers:  {', '.join(summary['span_layers'])}")
+    print(f"  tracks:  {', '.join(summary['tracks'])}")
+    print(f"  packets: {summary['packets_completed']} completed, "
+          f"{summary['packets_dropped']} dropped")
+    if summary["metrics_path"]:
+        print(f"wrote {summary['metrics_path']} (metrics registry dump)")
+    print()
+    print(export.format_metrics_table(get_registry(),
+                                      title="metrics snapshot"))
+    print()
+    print("open the trace in https://ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def main(argv: list) -> int:
     command = argv[1] if len(argv) > 1 else "info"
     if command == "info":
         _info()
+    elif command == "trace":
+        return _trace(argv[2:])
     elif command == "report":
         from repro.report import main as report_main
 

@@ -23,6 +23,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.hw.events import Simulator
 from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 
 @dataclass
@@ -81,6 +84,10 @@ class SNICRuntime:
         self.stats = RuntimeStats()
         self._functions: Dict[int, NetworkFunction] = {}
         self._arrival_by_identity: Dict[int, List[int]] = {}
+        if _TRACER.enabled:
+            # Put every subsequent trace event on this run's simulated
+            # clock, so hardware spans and packet spans share one axis.
+            _TRACER.use_clock(lambda: self.sim.now_ns)
 
     def attach(self, nf_id: int, nf: NetworkFunction) -> None:
         """Bind the behavioural NF that runs on ``nf_id``'s cores."""
@@ -100,12 +107,23 @@ class SNICRuntime:
     def _on_arrival(self, packet: Packet) -> None:
         self.snic.rx_port.wire_arrival(packet)
         delivered = self.snic.process_ingress()
+        tracer = _TRACER
         for nf_id, count in delivered.items():
             if nf_id == -1:
                 self.stats.dropped += count
+                if tracer.enabled:
+                    tracer.instant("packet.drop", ts_ns=self.sim.now_ns,
+                                   track="rx-port", cat="runtime",
+                                   count=count)
                 continue
             queue = self._arrival_by_identity.setdefault(nf_id, [])
             queue.extend([self.sim.now_ns] * count)
+            if tracer.enabled:
+                tracer.counter_sample(
+                    f"nf{nf_id}.rx_ring",
+                    self.snic.record(nf_id).vpp.rx_ring.occupancy,
+                    ts_ns=self.sim.now_ns, tenant=nf_id, track="rx-ring",
+                    cat="runtime")
 
     def _poll(self, nf_id: int) -> None:
         record = self.snic.record(nf_id)
@@ -120,6 +138,14 @@ class SNICRuntime:
                 if self._arrival_by_identity.get(nf_id) else self.sim.now_ns
             result = nf.process(Packet.from_bytes(frame))
             finish = self.sim.now_ns + served * self.service_ns_per_packet
+            if _TRACER.enabled:
+                # Serial per-core service: packet k occupies
+                # [now + (k-1)*service, now + k*service).
+                _TRACER.complete(
+                    "nf.process",
+                    finish - self.service_ns_per_packet,
+                    self.service_ns_per_packet,
+                    tenant=nf_id, track="nf-core", cat="runtime")
             if result is not None:
                 self.sim.schedule_at(
                     finish,
@@ -140,6 +166,10 @@ class SNICRuntime:
                 nf_id=nf_id, arrival_ns=arrival_ns, departure_ns=self.sim.now_ns
             )
         )
+        if _TRACER.enabled:
+            _TRACER.complete(
+                "packet.e2e", arrival_ns, self.sim.now_ns - arrival_ns,
+                tenant=nf_id, track="packet-latency", cat="runtime")
 
     # ------------------------------------------------------------------
 

@@ -44,6 +44,9 @@ from repro.hw.memory import PhysicalMemory
 from repro.hw.mmu import DenylistPageTable, TLBEntry
 from repro.hw.packet_io import RXPort, TXPort
 from repro.net.packet import Packet
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 _DESC_BYTES = 16
 
@@ -279,9 +282,16 @@ class SNIC:
         self._repartition_cache()
         self._rebuild_bus()
 
-        self.instruction_log.append(
-            ("nf_launch", nf_id, self.timing.nf_launch_ms(extent_bytes))
-        )
+        launch_ms = self.timing.nf_launch_ms(extent_bytes)
+        self.instruction_log.append(("nf_launch", nf_id, launch_ms))
+        if _TRACER.enabled:
+            # Lifecycle span with the instruction-latency model's
+            # duration, so launches appear to scale with extent size.
+            _TRACER.complete("nf_launch", _TRACER.now(), launch_ms * 1e6,
+                             tenant=nf_id, track="snic-lifecycle",
+                             cat="lifecycle", name_arg=config.name,
+                             extent_bytes=extent_bytes,
+                             cores=list(config.core_ids))
         return nf_id
 
     def _validate_cores(self, config: NFConfig) -> None:
@@ -434,9 +444,12 @@ class SNIC:
             nonce=nonce,
             params=params,
         )
-        self.instruction_log.append(
-            ("nf_attest", nf_id, self.timing.nf_attest_ms())
-        )
+        attest_ms = self.timing.nf_attest_ms()
+        self.instruction_log.append(("nf_attest", nf_id, attest_ms))
+        if _TRACER.enabled:
+            _TRACER.complete("nf_attest", _TRACER.now(), attest_ms * 1e6,
+                             tenant=nf_id, track="snic-lifecycle",
+                             cat="lifecycle")
         return session
 
     # ------------------------------------------------------------------
@@ -460,9 +473,13 @@ class SNIC:
         del self._records[nf_id]
         self._repartition_cache()
         self._rebuild_bus()
-        self.instruction_log.append(
-            ("nf_teardown", nf_id, self.timing.nf_destroy_ms(record.extent_bytes))
-        )
+        destroy_ms = self.timing.nf_destroy_ms(record.extent_bytes)
+        self.instruction_log.append(("nf_teardown", nf_id, destroy_ms))
+        if _TRACER.enabled:
+            _TRACER.complete("nf_teardown", _TRACER.now(), destroy_ms * 1e6,
+                             tenant=nf_id, track="snic-lifecycle",
+                             cat="lifecycle",
+                             extent_bytes=record.extent_bytes)
 
     # ------------------------------------------------------------------
     # Microarchitectural reservations
@@ -472,6 +489,11 @@ class SNIC:
         self._cache_allocation = self.cache_policy.apply(
             self.l2, self.live_functions
         )
+        if _TRACER.enabled:
+            _TRACER.instant("cache.repartition", track="snic-lifecycle",
+                            cat="lifecycle",
+                            allocation={str(k): v for k, v
+                                        in self._cache_allocation.items()})
 
     def cache_rebalance(self) -> Dict[int, int]:
         """One SecDCP control step (no-op under static partitioning).
@@ -495,6 +517,11 @@ class SNIC:
                 dead_time_ns=self._bus_dead_ns,
             )
         )
+        if _TRACER.enabled:
+            _TRACER.instant("bus.rebuild_epochs", track="snic-lifecycle",
+                            cat="lifecycle", domains=list(domains),
+                            epoch_ns=self._bus_epoch_ns,
+                            dead_time_ns=self._bus_dead_ns)
 
     # ------------------------------------------------------------------
     # Packet plumbing

@@ -28,6 +28,10 @@ from typing import Callable, Dict, List, Optional
 
 from repro.hw.memory import AccessFault
 from repro.hw.mmu import TLB
+from repro.obs.metrics import get_registry, instance_label
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 
 class AcceleratorKind(enum.Enum):
@@ -96,6 +100,10 @@ class _ThreadPool:
         self._free_at[index] = complete
         return complete
 
+    def busy_at(self, t: float) -> int:
+        """Threads still occupied at instant ``t`` (the queue-depth probe)."""
+        return sum(1 for free_at in self._free_at if free_at > t)
+
     def reset(self) -> None:
         self._free_at = [0.0] * self.n_threads
 
@@ -125,6 +133,10 @@ class AcceleratorCluster:
         self.completed: int = 0
         self._dispatch_interval_ns = 1e9 / FRONTEND_DISPATCH_RATE_RPS
         self._last_dispatch_ns = -1e18
+        self._obs_label = instance_label(f"{kind.value}-cluster{cluster_id}")
+        self._obs_track = f"{kind.value}-cluster{cluster_id}"
+        self._obs_by_tenant: Dict[Optional[int], tuple] = {}
+        self._occupancy_gauge = None
 
     @property
     def n_threads(self) -> int:
@@ -164,7 +176,44 @@ class AcceleratorCluster:
         if request.work is not None:
             request.result = request.work()
         self.completed += 1
+        self._observe(request, dispatch)
         return request
+
+    def _observe(self, request: AcceleratorRequest, dispatch_ns: float) -> None:
+        """Per-request telemetry: latency histogram, thread occupancy
+        gauge, and (when tracing) a tenant-tagged span.  Instruments are
+        cached per tenant so the steady-state cost is two increments."""
+        tenant = request.owner
+        instruments = self._obs_by_tenant.get(tenant)
+        if instruments is None:
+            registry = get_registry()
+            instruments = (
+                registry.counter("accel_requests_total",
+                                 cluster=self._obs_label,
+                                 kind=self.kind.value, tenant=tenant),
+                registry.histogram("accel_latency_ns",
+                                   cluster=self._obs_label,
+                                   kind=self.kind.value, tenant=tenant),
+            )
+            self._obs_by_tenant[tenant] = instruments
+            self._occupancy_gauge = registry.gauge(
+                "accel_thread_occupancy", cluster=self._obs_label,
+                kind=self.kind.value)
+        requests_counter, latency_hist = instruments
+        requests_counter.value += 1.0
+        latency_hist.observe(request.latency_ns)
+        tracer = _TRACER
+        if tracer.enabled:
+            occupancy = self.threads.busy_at(dispatch_ns)
+            self._occupancy_gauge.set(occupancy)
+            tracer.complete(
+                f"accel.{self.kind.value}", dispatch_ns,
+                request.complete_ns - dispatch_ns, tenant=tenant,
+                track=self._obs_track, cat="accel", bytes=request.n_bytes)
+            tracer.counter_sample(
+                f"{self._obs_track}.occupancy", occupancy,
+                ts_ns=dispatch_ns, tenant=tenant,
+                track=self._obs_track, cat="accel")
 
     def throughput_mpps(self, frame_bytes: int) -> float:
         """Steady-state throughput for fixed-size frames (Figure 8).
@@ -238,6 +287,16 @@ class AcceleratorEngine:
         request.complete_ns = self._shared_pool.serve(request.issue_ns, service_ns)
         if request.work is not None:
             request.result = request.work()
+        tracer = _TRACER
+        if tracer.enabled:
+            # Commodity path: every tenant lands on the same shared
+            # track, which is precisely the contention picture §3.2
+            # complains about.
+            tracer.complete(
+                f"accel.{self.kind.value}.shared", request.issue_ns,
+                request.complete_ns - request.issue_ns,
+                tenant=request.owner, track=f"{self.kind.value}-shared",
+                cat="accel", bytes=request.n_bytes)
         return request
 
     def split_clusters(self, threads_per_cluster: int) -> List[AcceleratorCluster]:

@@ -27,6 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry, \
+    instance_label
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
+
 
 class BusCrashed(Exception):
     """The watchdog declared the NIC wedged (the §3.3 Agilio hard-crash)."""
@@ -194,20 +200,65 @@ class IOBus:
     Use :meth:`transfer` for every DMA / accelerator / core memory
     transaction that crosses the bus; it returns the observed latency,
     which is what side-channel probes measure.
+
+    Per-client statistics live in the :mod:`repro.obs.metrics` registry
+    (``bus_bytes_total``, ``bus_latency_ns``, ``bus_wait_ns``);
+    ``bytes_by_client`` is a read-through view kept for the historical
+    API.  With tracing enabled each transfer becomes a tenant-tagged
+    span on the shared ``bus`` track, so co-tenant arbitration waits
+    are directly visible in Perfetto.
     """
 
-    def __init__(self, arbiter) -> None:
+    def __init__(self, arbiter,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.arbiter = arbiter
-        self.bytes_by_client: Dict[int, int] = {}
         self.requests: List[BusRequest] = []
         self.record = False
+        self._registry = registry or get_registry()
+        self._obs_label = instance_label("bus")
+        self._bytes: Dict[int, Counter] = {}
+        self._latency: Dict[int, Histogram] = {}
+        self._wait: Dict[int, Histogram] = {}
+
+    @property
+    def bytes_by_client(self) -> Dict[int, int]:
+        """Read-through view over the registry's per-client byte counts."""
+        return {client: int(counter.value)
+                for client, counter in self._bytes.items()}
+
+    def _instruments_for(self, client: int):
+        bytes_counter = self._registry.counter(
+            "bus_bytes_total", bus=self._obs_label, tenant=client)
+        latency = self._registry.histogram(
+            "bus_latency_ns", bus=self._obs_label, tenant=client)
+        wait = self._registry.histogram(
+            "bus_wait_ns", bus=self._obs_label, tenant=client)
+        self._bytes[client] = bytes_counter
+        self._latency[client] = latency
+        self._wait[client] = wait
+        return bytes_counter, latency, wait
 
     def transfer(self, client: int, n_bytes: int, now_ns: float) -> float:
         """Perform a transfer; returns latency (completion - issue)."""
         completion = self.arbiter.request(client, n_bytes, now_ns)
-        self.bytes_by_client[client] = (
-            self.bytes_by_client.get(client, 0) + n_bytes
-        )
+        latency = completion - now_ns
+        bytes_counter = self._bytes.get(client)
+        if bytes_counter is None:
+            bytes_counter, latency_hist, wait_hist = self._instruments_for(client)
+        else:
+            latency_hist = self._latency[client]
+            wait_hist = self._wait[client]
+        bytes_counter.value += n_bytes
+        latency_hist.observe(latency)
+        # Arbitration wait: everything beyond the pure wire time — FCFS
+        # queueing, per-request overhead, or epoch/dead-time gaps.
+        bandwidth = getattr(self.arbiter, "bandwidth", None)
+        if bandwidth:
+            wait_hist.observe(max(0.0, latency - n_bytes / bandwidth))
+        tracer = _TRACER
+        if tracer.enabled:
+            tracer.complete("bus.transfer", now_ns, latency, tenant=client,
+                            track="bus", cat="bus", bytes=n_bytes)
         if self.record:
             self.requests.append(
                 BusRequest(
@@ -217,4 +268,4 @@ class IOBus:
                     complete_ns=completion,
                 )
             )
-        return completion - now_ns
+        return latency

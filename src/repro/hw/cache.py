@@ -26,11 +26,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.hw.memory import AccessFault
+from repro.obs.metrics import Counter, MetricsRegistry, get_registry, instance_label
+from repro.obs.tracer import get_tracer
 
 SHARED = "shared"
 HARD = "hard"
 SOFT = "soft"
 _MODES = (SHARED, HARD, SOFT)
+
+_TRACER = get_tracer()
+
+#: Nominal fill latency used to give traced misses a visible duration.
+_MISS_FILL_NS = 60.0
 
 
 @dataclass(frozen=True)
@@ -59,10 +66,31 @@ class _Line:
     stamp: int
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
+    """Per-owner hit/miss statistics, backed by the metrics registry.
+
+    The counters in :mod:`repro.obs.metrics` are the source of truth;
+    ``hits``/``misses`` are thin read-through properties so historical
+    call sites (``cache.stats[owner].hits``) keep working unchanged.
+    """
+
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self, hits: Optional[Counter] = None,
+                 misses: Optional[Counter] = None) -> None:
+        # Unregistered standalone counters when constructed bare (kept
+        # for back-compat with direct CacheStats() use).
+        self._hits = hits if hits is not None else Counter("cache_hits_total", ())
+        self._misses = misses if misses is not None else Counter(
+            "cache_misses_total", ())
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
 
     @property
     def accesses(self) -> int:
@@ -72,11 +100,19 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def reset(self) -> None:
+        self._hits.reset()
+        self._misses.reset()
+
+    def __repr__(self) -> str:  # keeps the old dataclass-ish repr
+        return f"CacheStats(hits={self.hits}, misses={self.misses})"
+
 
 class Cache:
     """One level of set-associative, LRU, write-allocate cache."""
 
-    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.config = config
         self.name = name
         self.mode = SHARED
@@ -85,7 +121,26 @@ class Cache:
         # sets[s] is a list of lines currently resident (<= ways).
         self._sets: List[List[_Line]] = [[] for _ in range(config.n_sets)]
         self._clock = 0
+        self._registry = registry or get_registry()
+        self._obs_label = instance_label(name)
         self.stats: Dict[int, CacheStats] = {}
+        self._evictions: Dict[int, Counter] = {}
+
+    def _stats_for(self, owner: int) -> CacheStats:
+        stats = CacheStats(
+            self._registry.counter("cache_hits_total",
+                                   cache=self._obs_label, tenant=owner),
+            self._registry.counter("cache_misses_total",
+                                   cache=self._obs_label, tenant=owner),
+        )
+        self.stats[owner] = stats
+        return stats
+
+    def _evictions_for(self, owner: int) -> Counter:
+        counter = self._registry.counter(
+            "cache_evictions_total", cache=self._obs_label, tenant=owner)
+        self._evictions[owner] = counter
+        return counter
 
     # ------------------------------------------------------------------
     # Partition management (configured by nf_launch)
@@ -146,16 +201,23 @@ class Cache:
         set_index = line_addr % self.config.n_sets
         tag = line_addr // self.config.n_sets
         lines = self._sets[set_index]
-        stats = self.stats.setdefault(owner, CacheStats())
+        stats = self.stats.get(owner)
+        if stats is None:
+            stats = self._stats_for(owner)
 
         hit_line = self._find_hit(lines, tag, owner)
         if hit_line is not None:
             hit_line.stamp = self._clock
-            stats.hits += 1
+            stats._hits.value += 1.0
             return True
 
-        stats.misses += 1
+        stats._misses.value += 1.0
         self._fill(lines, tag, owner)
+        tracer = _TRACER
+        if tracer.enabled:
+            tracer.complete(
+                "cache.miss", tracer.now(), _MISS_FILL_NS,
+                tenant=owner, track=self.name, cat="cache", set=set_index)
         return False
 
     def _find_hit(self, lines: List[_Line], tag: int, owner: int) -> Optional[_Line]:
@@ -177,6 +239,7 @@ class Cache:
             if len(lines) >= capacity:
                 victim = min(lines, key=lambda l: l.stamp)
                 lines.remove(victim)
+                self._count_eviction(victim.owner)
             lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
             return
         # Partitioned fill: victimize only within the owner's ways.
@@ -184,7 +247,14 @@ class Cache:
         if len(own) >= capacity:
             victim = min(own, key=lambda l: l.stamp)
             lines.remove(victim)
+            self._count_eviction(victim.owner)
         lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
+
+    def _count_eviction(self, victim_owner: int) -> None:
+        counter = self._evictions.get(victim_owner)
+        if counter is None:
+            counter = self._evictions_for(victim_owner)
+        counter.value += 1.0
 
     # ------------------------------------------------------------------
     # Introspection & scrubbing
@@ -212,6 +282,9 @@ class Cache:
             keep = [l for l in lines if l.owner != owner]
             evicted += len(lines) - len(keep)
             lines[:] = keep
+        if _TRACER.enabled:
+            _TRACER.instant("cache.scrub", tenant=owner, track=self.name,
+                            cat="cache", lines=evicted)
         return evicted
 
     def flush_all(self) -> None:
@@ -219,7 +292,13 @@ class Cache:
             lines.clear()
 
     def reset_stats(self) -> None:
+        """Zero this cache's registry counters and forget owner views."""
+        for stats in self.stats.values():
+            stats.reset()
+        for counter in self._evictions.values():
+            counter.reset()
         self.stats = {}
+        self._evictions = {}
 
 
 class CacheHierarchy:

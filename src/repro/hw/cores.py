@@ -17,6 +17,10 @@ from typing import Optional
 
 from repro.hw.memory import AccessFault, PhysicalMemory
 from repro.hw.mmu import GuardedAddressSpace, TLB
+from repro.obs.metrics import get_registry, instance_label
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 
 @dataclass(frozen=True)
@@ -57,7 +61,21 @@ class ProgrammableCore:
         self.timing = timing or CoreTimingConfig()
         self.owner: Optional[int] = None  # NF id, or None when free
         self.address_space = GuardedAddressSpace(self.tlb, memory)
-        self.instructions_retired = 0
+        registry = get_registry()
+        obs_label = instance_label(f"core{core_id}")
+        self._instructions = registry.counter(
+            "core_instructions_total", core=obs_label)
+        self._stalls = registry.counter("core_stall_cycles_total",
+                                        core=obs_label)
+
+    @property
+    def instructions_retired(self) -> int:
+        """Read-through to the registry's ``core_instructions_total``."""
+        return int(self._instructions.value)
+
+    @property
+    def stall_cycles(self) -> int:
+        return int(self._stalls.value)
 
     @property
     def allocated(self) -> bool:
@@ -74,7 +92,8 @@ class ProgrammableCore:
     def unbind(self) -> None:
         """Release the core, clearing registers and TLB state (§4.6)."""
         self.owner = None
-        self.instructions_retired = 0
+        self._instructions.reset()
+        self._stalls.reset()
         self.tlb.clear(force=True)
 
     def load(self, vaddr: int, size: int) -> bytes:
@@ -86,4 +105,13 @@ class ProgrammableCore:
         self.address_space.store(vaddr, data)
 
     def retire(self, n_instructions: int) -> None:
-        self.instructions_retired += n_instructions
+        self._instructions.value += n_instructions
+
+    def record_stalls(self, n_cycles: float) -> None:
+        """Account memory-stall cycles attributed to this core (used by
+        the trace-driven IPC experiments)."""
+        self._stalls.value += n_cycles
+        if _TRACER.enabled:
+            _TRACER.instant("core.stall", tenant=self.owner,
+                            track=f"core{self.core_id}", cat="core",
+                            cycles=n_cycles)

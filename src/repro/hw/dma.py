@@ -18,6 +18,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.hw.memory import AccessFault, HostMemory, PhysicalMemory
+from repro.obs.metrics import Counter, get_registry, instance_label
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 
 @dataclass(frozen=True)
@@ -48,7 +52,15 @@ class DMABank:
         self.nic_window: Optional[DMAWindow] = None
         self.host_window: Optional[DMAWindow] = None
         self._locked = False
-        self.bytes_moved = 0
+        self._obs_label = instance_label(f"dma{bank_id}")
+        self._bytes: Optional[Counter] = None
+        self._rejects: Optional[Counter] = None
+
+    @property
+    def bytes_moved(self) -> int:
+        """Bytes transferred since configure; read-through to the
+        registry's ``dma_bytes_total`` counter."""
+        return int(self._bytes.value) if self._bytes is not None else 0
 
     def configure(
         self, owner: int, nic_window: DMAWindow, host_window: DMAWindow
@@ -58,6 +70,13 @@ class DMABank:
         self.owner = owner
         self.nic_window = nic_window
         self.host_window = host_window
+        registry = get_registry()
+        self._bytes = registry.counter(
+            "dma_bytes_total", bank=self._obs_label, tenant=owner)
+        self._rejects = registry.counter(
+            "dma_window_rejects_total", bank=self._obs_label, tenant=owner)
+        self._bytes.reset()
+        self._rejects.reset()
 
     def lock(self) -> None:
         self._locked = True
@@ -67,21 +86,44 @@ class DMABank:
         self.nic_window = None
         self.host_window = None
         self._locked = False
-        self.bytes_moved = 0
+        if self._bytes is not None:
+            self._bytes.reset()
+            self._rejects.reset()
+        self._bytes = None
+        self._rejects = None
 
     def _check(self, nic_addr: int, host_addr: int, n_bytes: int) -> None:
         if self.nic_window is None or self.host_window is None:
             raise AccessFault(f"DMA bank {self.bank_id} not configured")
         if not self.nic_window.contains(nic_addr, n_bytes):
+            self._count_reject()
             raise AccessFault(
                 f"DMA bank {self.bank_id}: NIC address {nic_addr:#x} "
                 f"(+{n_bytes}) outside the function's window"
             )
         if not self.host_window.contains(host_addr, n_bytes):
+            self._count_reject()
             raise AccessFault(
                 f"DMA bank {self.bank_id}: host address {host_addr:#x} "
                 f"(+{n_bytes}) outside the host-sanctioned window"
             )
+
+    def _count_reject(self) -> None:
+        if self._rejects is not None:
+            self._rejects.inc()
+        if _TRACER.enabled:
+            _TRACER.instant("dma.window_reject", tenant=self.owner,
+                            track=f"dma-bank{self.bank_id}", cat="dma")
+
+    def _trace_transfer(self, direction: str, n_bytes: int) -> None:
+        tracer = _TRACER
+        if tracer.enabled:
+            # The window-checked copy is instantaneous in this model; a
+            # nominal per-byte time gives the span visible width.
+            tracer.complete(f"dma.{direction}", tracer.now(), n_bytes / 12.8,
+                            tenant=self.owner,
+                            track=f"dma-bank{self.bank_id}", cat="dma",
+                            bytes=n_bytes)
 
     def to_nic(
         self,
@@ -94,7 +136,8 @@ class DMABank:
         """Downstream transfer: host → NIC, both windows enforced."""
         self._check(nic_addr, host_addr, n_bytes)
         nic_mem.write(nic_addr, host_mem.read(host_addr, n_bytes))
-        self.bytes_moved += n_bytes
+        self._bytes.value += n_bytes
+        self._trace_transfer("to_nic", n_bytes)
 
     def to_host(
         self,
@@ -107,7 +150,8 @@ class DMABank:
         """Upstream transfer: NIC → host, both windows enforced."""
         self._check(nic_addr, host_addr, n_bytes)
         host_mem.write(host_addr, nic_mem.read(nic_addr, n_bytes))
-        self.bytes_moved += n_bytes
+        self._bytes.value += n_bytes
+        self._trace_transfer("to_host", n_bytes)
 
 
 class DMAController:

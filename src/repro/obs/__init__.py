@@ -1,0 +1,78 @@
+"""``repro.obs`` — unified observability for the whole simulation stack.
+
+Three pieces, designed to be cheap enough to leave compiled into every
+hot layer:
+
+* :mod:`repro.obs.tracer` — a span/instant/counter event tracer with a
+  no-op fast path when disabled.  Hooks live in ``hw.cache``,
+  ``hw.bus``, ``hw.dma``, ``hw.accelerator``, ``core.snic`` and
+  ``core.runtime``; events are tenant-tagged so per-tenant interference
+  on shared resources is directly visible.
+* :mod:`repro.obs.metrics` — a registry of labelled counters, gauges
+  and fixed-bucket histograms that components instrument into instead
+  of keeping ad-hoc ``hits``/``misses`` attributes (the old attribute
+  names survive as read-through properties).
+* exporters — Chrome ``trace_event`` JSON for Perfetto
+  (:mod:`repro.obs.chrome_trace`), flat CSV/JSON metric dumps and a
+  table printer (:mod:`repro.obs.export`).
+
+Quickstart::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing(clock=lambda: sim.now_ns)
+    ...  # run any experiment
+    obs.write_chrome_trace(tracer, "trace.json")   # load in Perfetto
+    print(obs.format_metrics_table(obs.get_registry()))
+
+or run the packaged co-tenancy demo end to end::
+
+    python -m repro trace -o snic_trace.json
+"""
+
+from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.export import (
+    format_metrics_table,
+    metrics_rows,
+    metrics_to_csv,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    instance_label,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    TraceEvent,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "TraceEvent",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "format_metrics_table",
+    "get_registry",
+    "get_tracer",
+    "instance_label",
+    "metrics_rows",
+    "metrics_to_csv",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]

@@ -1,0 +1,112 @@
+"""Chrome ``trace_event`` JSON export.
+
+Converts a :class:`~repro.obs.tracer.Tracer`'s event stream into the
+JSON Object Format consumed by ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev): a top-level object with a ``traceEvents``
+list whose entries carry ``ph``/``name``/``ts``/``pid``/``tid``.
+
+Mapping:
+
+* **tenant → pid.**  Each security domain becomes one Chrome process
+  (named ``tenant-<nf_id>``); infrastructure events (tenant ``None``)
+  land in pid 0, named ``nic-infra``.  Cross-tenant interference on a
+  shared resource is then visible as same-named tracks in two process
+  lanes overlapping in time.
+* **track → tid.**  Each hardware layer (``bus``, ``l2``,
+  ``dpi-cluster0`` …) becomes one thread per process, with
+  ``thread_name`` metadata.
+* ``ts``/``dur`` are microseconds per the spec; the tracer records
+  nanoseconds, so values are divided by 1000 (fractional µs are legal
+  and preserved).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: pid used for events with no tenant (NIC OS / infrastructure).
+INFRA_PID = 0
+INFRA_NAME = "nic-infra"
+
+
+def _pid_for(tenant: Optional[int]) -> int:
+    if tenant is None:
+        return INFRA_PID
+    # Shift tenants up so tenant 0 (if it ever exists) cannot collide
+    # with the infrastructure pid.
+    return int(tenant) + 1
+
+
+def to_chrome_trace(source, metadata: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build the Chrome JSON-object-format dict from a tracer (or a raw
+    list of :class:`TraceEvent`)."""
+    events: List[TraceEvent] = (
+        source.events if isinstance(source, Tracer) else list(source)
+    )
+    trace_events: List[Dict[str, object]] = []
+    tid_by_track: Dict[str, int] = {}
+    seen_process: Dict[int, str] = {}
+    seen_thread: set = set()
+
+    def tid_for(track: str) -> int:
+        tid = tid_by_track.get(track)
+        if tid is None:
+            tid = len(tid_by_track) + 1
+            tid_by_track[track] = tid
+        return tid
+
+    for event in events:
+        pid = _pid_for(event.tenant)
+        tid = tid_for(event.track)
+        if pid not in seen_process:
+            name = INFRA_NAME if pid == INFRA_PID else f"tenant-{event.tenant}"
+            seen_process[pid] = name
+            trace_events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+        if (pid, tid) not in seen_thread:
+            seen_thread.add((pid, tid))
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": event.track},
+            })
+        record: Dict[str, object] = {
+            "ph": event.ph,
+            "name": event.name,
+            "cat": event.cat,
+            "ts": event.ts_ns / 1000.0,
+            "pid": pid,
+            "tid": tid,
+        }
+        args = dict(event.args)
+        if event.tenant is not None:
+            args.setdefault("tenant", event.tenant)
+        if args:
+            record["args"] = args
+        if event.ph == "X":
+            record["dur"] = event.dur_ns / 1000.0
+        if event.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+
+    doc: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.obs", "time_unit_in": "ns"},
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def write_chrome_trace(source, path: str,
+                       metadata: Optional[Dict[str, object]] = None) -> str:
+    """Serialise to ``path``; returns the path for convenience."""
+    doc = to_chrome_trace(source, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return path

@@ -1,0 +1,86 @@
+"""Flat metric exporters: CSV, JSON, and a human-readable table.
+
+Works from :meth:`repro.obs.metrics.MetricsRegistry.snapshot` — a list
+of plain dicts — so anything that can produce that shape (including
+collectors pulling from live components) exports the same way.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Column order for flat exports; histogram-only columns stay empty for
+#: counters and gauges.
+_COLUMNS = ("name", "type", "labels", "value", "count", "sum", "mean",
+            "min", "max", "p50", "p99")
+
+
+def _format_labels(labels: Dict[str, object]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def metrics_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """Snapshot flattened to uniform rows (labels joined to one cell)."""
+    rows = []
+    for sample in registry.snapshot():
+        row = {col: sample.get(col, "") for col in _COLUMNS}
+        row["labels"] = _format_labels(sample.get("labels", {}))
+        rows.append(row)
+    return rows
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_COLUMNS)
+    writer.writeheader()
+    writer.writerows(metrics_rows(registry))
+    return buffer.getvalue()
+
+
+def write_metrics_csv(registry: MetricsRegistry, path: str) -> str:
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(metrics_to_csv(registry))
+    return path
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(registry.snapshot(), fh, indent=1, default=str)
+    return path
+
+
+def format_metrics_table(registry: MetricsRegistry,
+                         title: str = "metrics",
+                         name_filter: Optional[str] = None) -> str:
+    """The human-readable view printed by ``repro.report`` and the
+    ``python -m repro trace`` subcommand."""
+    rows = metrics_rows(registry)
+    if name_filter:
+        rows = [r for r in rows if name_filter in str(r["name"])]
+    if not rows:
+        return f"=== {title} ===\n(no metrics recorded)"
+    headers = ["metric", "labels", "value / count", "mean", "p50", "p99"]
+    table: List[List[str]] = []
+    for row in rows:
+        if row["type"] == "histogram":
+            value = f"n={row['count']}"
+            mean = f"{float(row['mean']):.1f}"
+            p50 = f"{float(row['p50']):.1f}"
+            p99 = f"{float(row['p99']):.1f}"
+        else:
+            number = float(row["value"])
+            value = f"{number:.0f}" if number == int(number) else f"{number:.3f}"
+            mean = p50 = p99 = ""
+        table.append([str(row["name"]), str(row["labels"]), value, mean, p50, p99])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in table))
+              for i in range(len(headers))]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

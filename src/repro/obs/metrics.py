@@ -1,0 +1,288 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every simulated component used to keep its own ad-hoc statistics
+(``hits``/``misses`` attributes, ``bytes_by_client`` dicts).  This
+module centralises them: components create labelled instruments in a
+:class:`MetricsRegistry` and expose their historical attribute names as
+thin read-through properties, so the registry is the single source of
+truth while existing call sites keep working.
+
+Design notes
+------------
+
+* Instruments are identified by ``(name, labels)``; asking the registry
+  for the same pair returns the same instrument (get-or-create), which
+  is how sibling components share a metric family while distinct
+  instances stay separate.
+* Component *instances* must not collide: two :class:`~repro.hw.cache.Cache`
+  objects both named ``l2`` are different caches with different
+  statistics.  :func:`instance_label` mints a unique per-instance label
+  (``l2#7``) that components fold into their label sets.
+* The hot-path cost of a counter increment is one bound-method call and
+  one float add — deliberately no locks, no timestamps, no allocation.
+* Histograms use fixed bucket upper bounds with linear interpolation
+  inside the winning bucket for percentile estimation; the default
+  bucket ladder is log-spaced and spans 1 ns … ~1 s, suitable for every
+  latency the simulators produce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+_instance_serial = itertools.count(1)
+
+
+def instance_label(prefix: str) -> str:
+    """A unique label for one component instance, e.g. ``l2#7``.
+
+    Serial numbers are process-global so two caches created by two
+    different NICs can never alias each other's counters.
+    """
+    return f"{prefix}#{next(_instance_serial)}"
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (resettable for teardown/tests)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def sample(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": "counter",
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, occupancy, backlog)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def sample(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": "gauge",
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+def default_latency_buckets() -> Tuple[float, ...]:
+    """Log-spaced nanosecond buckets: 1 ns … ~1 s, four per decade."""
+    bounds: List[float] = []
+    for decade in range(9):  # 1e0 .. 1e8
+        for mantissa in (1.0, 1.8, 3.2, 5.6):
+            bounds.append(mantissa * 10**decade)
+    bounds.append(1e9)
+    return tuple(bounds)
+
+
+_DEFAULT_BUCKETS = default_latency_buckets()
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in a +inf overflow bucket whose percentile estimate is
+    clamped to the observed maximum.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(bounds) if bounds else _DEFAULT_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bucket bounds must be sorted")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0–100), bucket-interpolated."""
+        if not self.count:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def sample(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": "histogram",
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide store of labelled instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    ``(name, labels)`` pair always maps to the same instrument object.
+    ``register_collector`` attaches a zero-overhead pull source: a
+    callable invoked only at :meth:`snapshot` time, for components whose
+    hot loops are too hot even for a counter increment.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], object] = {}
+        self._collectors: List[Callable[[], Iterable[Dict[str, object]]]] = []
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(name, key[1], bounds=bounds)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name}{dict(key[1])} already registered as "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(f"{name}{dict(key[1])} already registered as "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def register_collector(
+        self, collector: Callable[[], Iterable[Dict[str, object]]]
+    ) -> None:
+        self._collectors.append(collector)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> List[object]:
+        return list(self._instruments.values())
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Every instrument (and collector output) as plain dicts."""
+        samples = [inst.sample() for inst in self._instruments.values()]
+        for collector in self._collectors:
+            samples.extend(collector())
+        samples.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))
+        return samples
+
+    def reset(self) -> None:
+        """Zero every instrument's value (instrument objects survive, so
+        components holding references keep counting from zero)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument and collector entirely."""
+        self._instruments.clear()
+        self._collectors.clear()
+
+
+#: The default process-wide registry every component instruments into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY

@@ -19,6 +19,7 @@ from repro.cost.mcpat import snic_headline_overheads
 from repro.cost.pages import EQUAL_MENU, FLEX_HIGH_MENU, FLEX_LOW_MENU
 from repro.cost.profiles import MonitorMemoryModel, NF_PROFILES
 from repro.cost.tco import paper_tco_analysis
+from repro.obs import format_metrics_table, get_registry
 from repro.perf.colocation import cotenancy_sweep, summary_across_nfs
 
 
@@ -89,7 +90,17 @@ def main() -> None:
     row("temporal partitioning (S-NIC)", "eliminated",
         f"{bus_watermark_on_snic(n_bits=32).accuracy:.2f}")
 
+    # The attack/side-channel replays above exercised the instrumented
+    # bus and cache models, so the observability registry now holds real
+    # telemetry from this very report run — print the bus view.
+    print()
+    print(format_metrics_table(get_registry(),
+                               title="observability — bus telemetry from "
+                                     "the runs above",
+                               name_filter="bus_"))
+
     print("\nFull detail: pytest benchmarks/ --benchmark-only -s")
+    print("Trace a co-tenancy scenario: python -m repro trace -o trace.json")
 
 
 if __name__ == "__main__":
