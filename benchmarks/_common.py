@@ -1,17 +1,26 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures and
-prints the reproduced rows next to the paper's values, so running
+Every benchmark regenerates one of the paper's tables or figures.  Each
+script exposes three entry points:
 
-    pytest benchmarks/ --benchmark-only -s
+* ``test_*(benchmark)`` — the pytest-benchmark path
+  (``pytest benchmarks/ --benchmark-only -s``) with the paper-value
+  assertions;
+* ``run(quick: bool = False) -> dict`` — the unified-harness path
+  (``python -m repro bench``): prints the reproduced tables and returns
+  the scenario's key model outputs as a JSON-safe dict, with ``quick``
+  selecting CI-sized parameters;
+* ``python benchmarks/bench_<name>.py [--quick]`` — standalone
+  execution via :func:`bench_main`, printing the tables plus the
+  returned outputs as JSON.
 
-reproduces the entire evaluation section.  The printed series are also
-written as the benchmark's ``extra_info`` for machine consumption.
+The printed series are also written as the benchmark's ``extra_info``
+for machine consumption.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Dict, Iterable, Sequence
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -31,3 +40,34 @@ def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def quick_param(quick: bool, full, reduced):
+    """The scenario parameter for this mode: ``reduced`` under --quick."""
+    return reduced if quick else full
+
+
+def bench_main(run: Callable[..., Dict[str, object]]) -> int:
+    """Standalone ``__main__`` driver shared by every bench script.
+
+    Parses ``--quick``, invokes the script's ``run`` entry point (which
+    prints its own tables), then prints the returned outputs as JSON —
+    the same dict the unified harness records in ``BENCH_*.json``.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description=(run.__doc__ or "run this benchmark scenario").strip())
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized parameters")
+    args = parser.parse_args()
+
+    outputs = run(quick=args.quick)
+    try:
+        from repro.obs.bench import jsonable
+        outputs = jsonable(outputs)
+    except ImportError:
+        pass
+    print("\n[outputs] " + json.dumps(outputs, default=repr))
+    return 0

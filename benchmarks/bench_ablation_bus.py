@@ -10,7 +10,7 @@ two axes:
   floods the bus (zero for TP, by construction).
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.hw.bus import FCFSArbiter, TemporalPartitioningArbiter
 from repro.perf.ipc import BusModel
@@ -27,10 +27,10 @@ def measure_leakage(make_arbiter):
     return noisy_latency - quiet_latency
 
 
-def compute_ablation():
+def compute_ablation(domain_counts=(2, 4, 8, 16)):
     bus = BusModel()
     rows = []
-    for n_domains in (2, 4, 8, 16):
+    for n_domains in domain_counts:
         tp_wait = bus.temporal_partition_wait_ns(n_domains)
         fcfs_wait = bus.fcfs_wait_ns(0.002 * n_domains)
         tp_leak = measure_leakage(
@@ -56,3 +56,24 @@ def test_ablation_bus(benchmark):
         assert tp_wait > fcfs_wait     # the price of isolation
     waits = [row[2] for row in rows]
     assert waits == sorted(waits)      # cost grows with domain count
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: bus-arbitration ablation key outputs."""
+    rows = compute_ablation(domain_counts=(2, 4) if quick else (2, 4, 8, 16))
+    print_table(
+        "Ablation — bus arbitration (per-access wait ns / victim latency shift ns)",
+        ["domains", "FCFS wait", "TP wait", "FCFS leak", "TP leak"],
+        rows,
+    )
+    return {
+        "domains": [r[0] for r in rows],
+        "fcfs_wait_ns": [r[1] for r in rows],
+        "tp_wait_ns": [r[2] for r in rows],
+        "fcfs_leak_ns": [r[3] for r in rows],
+        "tp_leak_ns": [r[4] for r in rows],
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

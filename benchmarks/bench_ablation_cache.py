@@ -8,7 +8,7 @@ hits), while hard partitioning closes the channel at a modest hit-rate
 cost.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.hw.cache import Cache, CacheConfig, HARD, SOFT
 from repro.perf.workloads import NF_ACCESS_MODELS
@@ -42,10 +42,11 @@ def victim_hit_rate(mode, n_refs=30_000):
     return hits / n_refs
 
 
-def compute_ablation():
+def compute_ablation(n_refs=30_000):
     rows = []
     for mode in ("shared", SOFT, HARD):
-        rows.append((mode, probe_leakage(mode), victim_hit_rate(mode)))
+        rows.append((mode, probe_leakage(mode),
+                     victim_hit_rate(mode, n_refs=n_refs)))
     return rows
 
 
@@ -62,3 +63,21 @@ def test_ablation_cache(benchmark):
     assert by_mode[HARD][0] == 0.0      # S-NIC's choice closes it
     # Hard partitioning costs some hit rate vs shared — but bounded.
     assert by_mode[HARD][1] > 0.5 * by_mode["shared"][1]
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: cache-partitioning ablation key outputs."""
+    rows = compute_ablation(n_refs=4_000 if quick else 30_000)
+    print_table(
+        "Ablation — cache policy (probe leak / victim hit rate)",
+        ["policy", "probe observes victim", "victim hit rate"],
+        rows,
+    )
+    return {
+        "probe_leak": {mode: leak for mode, leak, _ in rows},
+        "victim_hit_rate": {mode: hit for mode, _, hit in rows},
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -7,13 +7,13 @@ gap the paper calls "fundamental, given the lack of trust between the
 different code on the NIC".
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.utilization import generate_workload, isolation_price
 
 
-def compute_ablation():
-    workload = generate_workload(n_requests=300, seed=11)
+def compute_ablation(n_requests=300):
+    workload = generate_workload(n_requests=n_requests, seed=11)
     return isolation_price(workload)
 
 
@@ -39,3 +39,31 @@ def test_ablation_utilization(benchmark):
     assert ideal.core_utilization >= snic.core_utilization
     assert snic.memory_utilization > 0.5  # Table 8 MURs keep it sane
     assert snic.admission_rate > 0.5
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: §4.8 underutilization ablation."""
+    results = compute_ablation(n_requests=80 if quick else 300)
+    print_table(
+        "Ablation — §4.8 underutilization (time-averaged)",
+        ["policy", "core util", "memory util", "admission", "rejected"],
+        [
+            (r.policy, f"{100 * r.core_utilization:.1f}%",
+             f"{100 * r.memory_utilization:.1f}%",
+             f"{100 * r.admission_rate:.1f}%", r.rejected)
+            for r in results.values()
+        ],
+    )
+    return {
+        policy: {
+            "core_utilization": result.core_utilization,
+            "memory_utilization": result.memory_utilization,
+            "admission_rate": result.admission_rate,
+            "rejected": result.rejected,
+        }
+        for policy, result in results.items()
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -7,15 +7,15 @@ Monitor grows with distinct flows, NAT saturates at its port pool, and
 the TLB budgets stay tiny next to a 512-entry core TLB.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.pyprofile import profile_all
 
 KB = 1024
 
 
-def compute_profiles():
-    return profile_all(n_packets=2_500)
+def compute_profiles(n_packets=2_500):
+    return profile_all(n_packets=n_packets)
 
 
 def test_pyprofiles(benchmark):
@@ -44,3 +44,30 @@ def test_pyprofiles(benchmark):
     assert profiles["LPM"].growth_ratio == 1.0
     for profile in profiles.values():
         assert profile.tlb_entries() <= 512            # fits a core TLB
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: this repo's own NF memory profiles."""
+    profiles = compute_profiles(n_packets=500 if quick else 2_500)
+    print_table(
+        "Appendix-B analogue — this repo's NFs (state KB, TLB entries)",
+        ["NF", "packets", "peak state", "final state", "growth", "TLB entries"],
+        [
+            (name, p.packets, f"{p.peak_state_bytes / KB:.1f}",
+             f"{p.final_state_bytes / KB:.1f}", f"{p.growth_ratio:.2f}x",
+             p.tlb_entries())
+            for name, p in profiles.items()
+        ],
+    )
+    return {
+        name: {
+            "peak_state_bytes": p.peak_state_bytes,
+            "growth_ratio": p.growth_ratio,
+            "tlb_entries": p.tlb_entries(),
+        }
+        for name, p in profiles.items()
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -6,7 +6,7 @@ by construction on S-NIC.
 """
 
 import pytest
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.commodity.agilio import AgilioNIC
 from repro.commodity.attacks import (
@@ -132,3 +132,21 @@ def test_attack_matrix(benchmark):
         )
         assert by_key[(attack, commodity_platform)] == "SUCCEEDS"
         assert by_key[(attack, "S-NIC")] == "BLOCKED"
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: the §3.3 attack matrix outcomes."""
+    outcomes = run_attack_matrix()
+    print_table(
+        "§3.3 attack matrix",
+        ["attack", "platform", "outcome", "notes"],
+        outcomes,
+    )
+    return {
+        f"{attack}/{platform}": outcome
+        for attack, platform, outcome, _ in outcomes
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

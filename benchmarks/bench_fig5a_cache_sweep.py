@@ -6,7 +6,7 @@ degradation (fractions of a percent) at large caches, rising toward a
 few percent at small caches, FW/DPI/NAT worst.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.perf.colocation import cache_size_sweep
 
@@ -14,10 +14,11 @@ KB = 1024
 MB = 1024 * KB
 L2_SIZES = [8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB,
             512 * KB, 1 * MB, 2 * MB, 4 * MB, 8 * MB, 16 * MB]
+QUICK_L2_SIZES = [64 * KB, 512 * KB, 4 * MB, 16 * MB]
 
 
-def compute_fig5a():
-    return cache_size_sweep(L2_SIZES, cotenancy=2)
+def compute_fig5a(l2_sizes=L2_SIZES):
+    return cache_size_sweep(l2_sizes, cotenancy=2)
 
 
 def test_fig5a(benchmark):
@@ -42,3 +43,28 @@ def test_fig5a(benchmark):
     small_heavy = max(results[n][3].median for n in ("FW", "DPI", "NAT"))
     small_light = results["LB"][3].median
     assert small_heavy > small_light
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: Figure 5a IPC degradation vs L2 size."""
+    sizes = QUICK_L2_SIZES if quick else L2_SIZES
+    results = compute_fig5a(sizes)
+    headers = ["NF"] + [
+        f"{s // KB}K" if s < MB else f"{s // MB}M" for s in sizes
+    ]
+    print_table(
+        "Figure 5a — median IPC degradation % vs L2 size (2 NFs)",
+        headers,
+        [[nf] + [f"{r.median:.2f}" for r in series]
+         for nf, series in results.items()],
+    )
+    return {
+        "l2_sizes": list(sizes),
+        "median_degradation_pct": {
+            nf: [r.median for r in series] for nf, series in results.items()
+        },
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -14,19 +14,20 @@ tenants' spans interleaving on the shared-bus track.
 
 import os
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.obs.scenario import run_cotenancy_scenario
 from repro.perf.colocation import cotenancy_sweep, summary_across_nfs
 
 COTENANCIES = (2, 3, 4, 8, 16)
+QUICK_COTENANCIES = (2, 4)
 
 TRACE_PATH = os.path.join(os.path.dirname(__file__),
                           "fig5b_cotenancy_trace.json")
 
 
-def compute_fig5b():
-    return cotenancy_sweep(cotenancies=COTENANCIES, max_sets=24)
+def compute_fig5b(cotenancies=COTENANCIES, max_sets=24):
+    return cotenancy_sweep(cotenancies=cotenancies, max_sets=max_sets)
 
 
 def test_fig5b(benchmark):
@@ -87,3 +88,36 @@ def _load_trace_events(path):
 
     with open(path) as fh:
         return json.load(fh)["traceEvents"]
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: Figure 5b + the co-tenancy trace demo."""
+    cotenancies = QUICK_COTENANCIES if quick else COTENANCIES
+    results = compute_fig5b(cotenancies, max_sets=8 if quick else 24)
+    print_table(
+        "Figure 5b — median IPC degradation % vs cotenancy (4 MB L2)",
+        ["NF"] + [f"{n} NFs" for n in cotenancies],
+        [[nf] + [f"{r.median:.2f}" for r in series]
+         for nf, series in results.items()],
+    )
+    summaries = {
+        n: summary_across_nfs(results, index)
+        for index, n in enumerate(cotenancies)
+    }
+    scenario = run_cotenancy_scenario(
+        out_path=TRACE_PATH, n_packets=16 if quick else 40)
+    print(f"\nwrote {scenario['trace_path']} ({scenario['spans']} spans, "
+          f"tenants {scenario['tenants']})")
+    return {
+        "cotenancies": list(cotenancies),
+        "mean_of_medians_pct": {
+            n: s["mean_of_medians_pct"] for n, s in summaries.items()
+        },
+        "worst_p99_pct": {n: s["worst_p99_pct"] for n, s in summaries.items()},
+        "trace_spans": scenario["spans"],
+        "trace_tenants": scenario["tenants"],
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

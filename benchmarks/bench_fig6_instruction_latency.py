@@ -5,7 +5,7 @@ nf_launch is dominated by SHA-256 digesting of the function image
 (2.11–54.23 ms); nf_attest is a size-independent ~5.6 ms.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.core.timing import DEFAULT_TIMING
 from repro.cost.profiles import NF_PROFILES
@@ -56,3 +56,24 @@ def test_fig6(benchmark):
     # Ordering: latency tracks memory size, Monitor worst.
     totals = [row[4] for row in rows]
     assert max(totals) == by_name["Mon"][4]
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: trusted-instruction latency per NF."""
+    rows = compute_fig6()
+    print_table(
+        "Figure 6 — instruction latency (ms)",
+        ["NF", "TLB setup", "denylist", "SHA-256", "nf_launch total",
+         "allowlist", "scrub", "nf_destroy total"],
+        rows,
+    )
+    attest = DEFAULT_TIMING.nf_attest_breakdown_ms()
+    return {
+        "nf_launch_total_ms": {row[0]: row[4] for row in rows},
+        "nf_destroy_total_ms": {row[0]: row[7] for row in rows},
+        "nf_attest_total_ms": sum(attest.values()),
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

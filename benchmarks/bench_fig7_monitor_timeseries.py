@@ -4,14 +4,14 @@ Paper: preallocation must cover the 360.54 MB peak (hugepage-init and
 HashMap-resize spikes) while steady-state use is 246.31 MB.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.profiles import MonitorMemoryModel
 
 
-def compute_fig7():
+def compute_fig7(step_s=0.5):
     model = MonitorMemoryModel()
-    return model.series(step_s=0.5), model.summary()
+    return model.series(step_s=step_s), model.summary()
 
 
 def test_fig7(benchmark):
@@ -31,3 +31,24 @@ def test_fig7(benchmark):
     assert abs(summary["prealloc_min_mb"] - 360.54) < 1.0
     assert abs(summary["steady_mb"] - 246.31) < 1.0
     assert summary["n_resizes"] >= 3
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: Monitor memory time series summary."""
+    series, summary = compute_fig7(step_s=2.0 if quick else 0.5)
+    print_table(
+        "Figure 7 — Monitor memory usage (MB)",
+        ["time", "MB"],
+        [(f"{t:.0f}s", f"{m:.1f}") for t, m in series
+         if abs(t - round(t / 30) * 30) < 0.25],
+    )
+    return {
+        "prealloc_min_mb": summary["prealloc_min_mb"],
+        "steady_mb": summary["steady_mb"],
+        "n_resizes": summary["n_resizes"],
+        "series_points": len(series),
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -8,7 +8,7 @@ the frontend scheduler (flat), jumbo frames scale with threads.
 """
 
 import pytest
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.hw.accelerator import AcceleratorCluster, AcceleratorKind
 
@@ -16,7 +16,7 @@ THREAD_COUNTS = (16, 32, 48)
 FRAME_SIZES = (64, 512, 1536, 9000)
 
 
-def compute_fig8():
+def compute_fig8(n_requests=1500):
     analytic = {}
     measured = {}
     for threads in THREAD_COUNTS:
@@ -25,7 +25,7 @@ def compute_fig8():
             size: cluster.throughput_mpps(size) for size in FRAME_SIZES
         }
         measured[threads] = {
-            size: cluster.measure_throughput_mpps(size, n_requests=1500)
+            size: cluster.measure_throughput_mpps(size, n_requests=n_requests)
             for size in FRAME_SIZES
         }
     return analytic, measured
@@ -58,3 +58,33 @@ def test_fig8(benchmark):
     for t in THREAD_COUNTS:
         series = [table[t][s] for s in FRAME_SIZES]
         assert series == sorted(series, reverse=True)
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: DPI throughput vs cluster and frame size."""
+    table, measured = compute_fig8(n_requests=300 if quick else 1500)
+    print_table(
+        "Figure 8 — DPI throughput (Mpps, analytic/event-driven)",
+        ["frame"] + [f"{t} threads" for t in THREAD_COUNTS],
+        [
+            [f"{size}B"] + [
+                f"{table[t][size]:.3f}/{measured[t][size]:.3f}"
+                for t in THREAD_COUNTS
+            ]
+            for size in FRAME_SIZES
+        ],
+    )
+    return {
+        "analytic_mpps": {
+            str(t): {str(s): table[t][s] for s in FRAME_SIZES}
+            for t in THREAD_COUNTS
+        },
+        "measured_mpps": {
+            str(t): {str(s): measured[t][s] for s in FRAME_SIZES}
+            for t in THREAD_COUNTS
+        },
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

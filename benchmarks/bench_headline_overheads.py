@@ -4,7 +4,7 @@ Paper: "S-NIC's additional TLB entries add 8.89% more chip area and
 11.45% more power consumption compared to a baseline 4-core A9."
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.mcpat import snic_headline_overheads
 
@@ -31,3 +31,32 @@ def test_headline(benchmark):
     )
     assert abs(results["area_overhead_pct"] - 8.89) < 0.15
     assert abs(results["power_overhead_pct"] - 11.45) < 0.15
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: headline silicon overheads."""
+    results = snic_headline_overheads()
+    print_table(
+        "§5.2 — headline silicon overheads",
+        ["component", "area mm²", "power W"],
+        [
+            ("core TLBs (4×512e)", results["core_tlb_area_mm2"],
+             results["core_tlb_power_w"]),
+            ("accelerator TLB banks", results["accel_tlb_area_mm2"],
+             results["accel_tlb_power_w"]),
+            ("VPP + DMA banks", results["vpp_dma_area_mm2"],
+             results["vpp_dma_power_w"]),
+            ("total added", results["total_added_area_mm2"],
+             results["total_added_power_w"]),
+        ],
+    )
+    return {
+        "area_overhead_pct": results["area_overhead_pct"],
+        "power_overhead_pct": results["power_overhead_pct"],
+        "total_added_area_mm2": results["total_added_area_mm2"],
+        "total_added_power_w": results["total_added_power_w"],
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -6,7 +6,10 @@ the data structures (flow caches, Aho–Corasick, DIR-24-8, Maglev) show
 up as throughput deltas.
 """
 
+import time
+
 import pytest
+from _common import bench_main, print_table
 
 from repro.net.rules import Prefix
 from repro.net.traces import make_ictf_like_trace
@@ -71,3 +74,45 @@ def test_lpm_throughput(benchmark, packets):
 def test_monitor_throughput(benchmark, packets):
     mon = Monitor()
     assert benchmark(_drain, mon, packets) >= N_PACKETS
+
+
+def _make_nfs():
+    lpm = DIR24_8(max_tbl8_groups=1024)
+    for prefix, hop in make_random_routes(4_000):
+        lpm.add_route(prefix, hop)
+    lpm.add_route(Prefix.parse("0.0.0.0/0"), 1)
+    return {
+        "FW": Firewall(make_emerging_threats_rules(643)),
+        "DPI": DPIEngine(make_snort_like_patterns(500)),
+        "NAT": NAT("100.0.0.1"),
+        "LB": MaglevLoadBalancer(
+            [Backend(f"b{i}", f"1.0.0.{i + 1}") for i in range(8)],
+            table_size=65537),
+        "LPM": lpm,
+        "Mon": Monitor(),
+    }
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: packets/second through each real NF."""
+    n_packets = 400 if quick else N_PACKETS
+    trace = make_ictf_like_trace(scale=0.01)
+    packets = list(trace.packets(n_packets, payload_size=64))
+    rows = []
+    pps = {}
+    for name, nf in _make_nfs().items():
+        started = time.perf_counter()
+        received = _drain(nf, packets)
+        elapsed = time.perf_counter() - started
+        pps[name] = received / elapsed if elapsed else 0.0
+        rows.append((name, received, f"{pps[name] / 1e3:.1f}"))
+    print_table(
+        "NF behavioral throughput (host wall clock)",
+        ["NF", "packets", "kpps"],
+        rows,
+    )
+    return {"packets": n_packets, "kpps": {n: v / 1e3 for n, v in pps.items()}}
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -11,7 +11,7 @@ Quantifies the channels the §3.3 exploits only hint at:
 Reported as channel accuracy: 1.0 = perfect channel, ~0.5 = noise.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.commodity.sidechannels import (
     bus_watermark_on_fcfs,
@@ -21,10 +21,10 @@ from repro.commodity.sidechannels import (
 from repro.hw.cache import HARD, SOFT
 
 
-def compute_matrix():
+def compute_matrix(n_bits=64):
     rows = []
-    fcfs = bus_watermark_on_fcfs()
-    snic = bus_watermark_on_snic()
+    fcfs = bus_watermark_on_fcfs(n_bits=n_bits)
+    snic = bus_watermark_on_snic(n_bits=n_bits)
     rows.append(("bus-watermark", "FCFS (commodity)", fcfs.accuracy,
                  "OPEN" if fcfs.channel_works else "closed"))
     rows.append(("bus-watermark", "temporal partitioning (S-NIC)",
@@ -32,7 +32,7 @@ def compute_matrix():
     for mode, label in (("shared", "shared LRU (commodity)"),
                         (SOFT, "soft partition (Intel CAT)"),
                         (HARD, "hard partition (S-NIC)")):
-        result = cache_covert_channel(mode)
+        result = cache_covert_channel(mode, n_bits=n_bits)
         status = "OPEN" if result.channel_works else (
             "CLOSED" if result.channel_closed else "degraded")
         rows.append(("cache-covert", label, result.accuracy, status))
@@ -52,3 +52,21 @@ def test_sidechannel_matrix(benchmark):
     assert by_key[("cache-covert", "shared LRU (commodity)")] == "OPEN"
     assert by_key[("cache-covert", "soft partition (Intel CAT)")] == "OPEN"
     assert by_key[("cache-covert", "hard partition (S-NIC)")] == "CLOSED"
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: side-channel decode-accuracy matrix."""
+    rows = compute_matrix(n_bits=24 if quick else 64)
+    print_table(
+        "Side-channel matrix (decode accuracy; 0.5 = noise)",
+        ["channel", "mechanism", "accuracy", "status"],
+        rows,
+    )
+    return {
+        f"{channel}/{mechanism}": {"accuracy": accuracy, "status": status}
+        for channel, mechanism, accuracy, status in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

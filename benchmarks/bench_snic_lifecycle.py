@@ -5,7 +5,10 @@ end-to-end packet path, to keep the core device model fast as it grows.
 (The paper's *simulated* latencies are covered by bench_fig6.)
 """
 
+import time
+
 import pytest
+from _common import bench_main, print_table
 
 from repro.core import NFConfig, NICOS, SNIC
 from repro.core.vpp import VPPConfig
@@ -56,3 +59,62 @@ def test_packet_path(benchmark):
 
     benchmark(roundtrip)
     assert snic.tx_port.transmitted
+
+
+def _timed(fn, rounds):
+    started = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - started) / rounds
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: wall-clock cost of control-plane ops."""
+    rounds = 3 if quick else 10
+    snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=31)
+
+    def cycle():
+        nf_id = snic.nf_launch(
+            NFConfig(name="bench", core_ids=(0,), memory_bytes=4 * MB,
+                     initial_image=b"x" * 4096))
+        snic.nf_teardown(nf_id)
+
+    cycle_s = _timed(cycle, rounds)
+
+    attest_snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=32)
+    nf_id = attest_snic.nf_launch(
+        NFConfig(name="bench", core_ids=(0,), memory_bytes=4 * MB))
+    attest_s = _timed(
+        lambda: attest_snic.nf_attest(nf_id, b"\x01" * 16, params=SMALL_DH),
+        rounds)
+
+    pkt_snic = SNIC(n_cores=2, dram_bytes=128 * MB, key_seed=33)
+    nic_os = NICOS(pkt_snic)
+    vnic = nic_os.NF_create(
+        NFConfig(name="bench", core_ids=(0,), memory_bytes=4 * MB,
+                 vpp=VPPConfig(rules=[MatchRule()])))
+    frame = Packet.make("10.0.0.1", "8.8.8.8", src_port=1, dst_port=2)
+
+    def roundtrip():
+        pkt_snic.rx_port.wire_arrival(frame.copy())
+        pkt_snic.process_ingress()
+        vnic.transmit(vnic.receive())
+        pkt_snic.process_egress()
+
+    packet_s = _timed(roundtrip, rounds * 20)
+    print_table(
+        "S-NIC control-plane wall-clock costs",
+        ["operation", "mean s"],
+        [("launch+teardown", cycle_s), ("attest", attest_s),
+         ("packet roundtrip", packet_s)],
+    )
+    return {
+        "launch_teardown_s": cycle_s,
+        "attest_s": attest_s,
+        "packet_roundtrip_s": packet_s,
+        "rounds": rounds,
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -7,7 +7,7 @@ Paper values (4-core column): 183 entries → 0.045 / 0.026 (0.90%/1.36%),
 256 → 0.060 / 0.035 (1.20%/1.81%), 512 → 0.163 / 0.088 (3.19%/4.45%).
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.mcpat import (
     TABLE2_CORE_COUNTS,
@@ -58,3 +58,23 @@ def test_table2(benchmark):
         paper_area, paper_power = PAPER_4CORE[entries]
         assert abs(areas[0] - paper_area) < 0.002
         assert abs(powers[0] - paper_power) < 0.002
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: core TLB silicon costs (Table 2)."""
+    rows = compute_table2()
+    print_table(
+        "Table 2 — core TLB costs, 4-core column (mm² / W)",
+        ["memory", "entries", "area", "power", "rel area", "rel power"],
+        [(label, entries, areas[0], powers[0],
+          f"{100 * rel_area:.2f}%", f"{100 * rel_power:.2f}%")
+         for label, entries, areas, powers, rel_area, rel_power in rows],
+    )
+    return {
+        str(entries): {"area_mm2_4core": areas[0], "power_w_4core": powers[0]}
+        for _, entries, areas, powers, _, _ in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

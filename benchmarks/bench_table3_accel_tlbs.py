@@ -6,7 +6,7 @@ threads.  Paper values at 16 clusters: DPI 0.074/0.037, ZIP 0.091/0.044,
 RAID 0.050/0.023.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.mcpat import TLBCostModel
 from repro.cost.pages import EQUAL_MENU
@@ -42,3 +42,23 @@ def test_table3(benchmark):
             paper_area, paper_power = PAPER_16[name]
             assert abs(area - paper_area) < 0.002
             assert abs(power - paper_power) < 0.002
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: accelerator TLB bank costs (Table 3)."""
+    rows = compute_table3()
+    print_table(
+        "Table 3 — accelerator TLB banks",
+        ["clusters", "threads/cluster", "accel", "TLB entries",
+         "area mm²", "power W"],
+        rows,
+    )
+    return {
+        f"{name}@{clusters}": {"entries": entries, "area_mm2": area,
+                               "power_w": power}
+        for clusters, _, name, entries, area, power in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -6,7 +6,7 @@ cost estimation as 3".  48 programmable cores at {4, 8, 16} cores/NF give
 {12, 6, 3} banks.  Paper: 12 banks → 0.037/0.017 each.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.mcpat import TLBCostModel
 from repro.cost.pages import EQUAL_MENU
@@ -47,3 +47,23 @@ def test_table4(benchmark):
         for area, power in ((vpp_area, vpp_power), (dma_area, dma_power)):
             assert abs(area - paper_area) < 0.001
             assert abs(power - paper_power) < 0.001
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: VPP + DMA TLB bank costs (Table 4)."""
+    rows = compute_table4()
+    print_table(
+        "Table 4 — VPP + DMA TLB banks",
+        ["banks", "cores/NF", "VPP entries", "VPP mm²", "VPP W",
+         "DMA entries", "DMA mm²", "DMA W"],
+        rows,
+    )
+    return {
+        str(banks): {"vpp_area_mm2": vpp_area, "vpp_power_w": vpp_power,
+                     "dma_area_mm2": dma_area, "dma_power_w": dma_power}
+        for banks, _, _, vpp_area, vpp_power, _, dma_area, dma_power in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

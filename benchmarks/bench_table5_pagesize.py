@@ -8,7 +8,7 @@ This bench doubles as the page-size-menu ablation called out in
 DESIGN.md §4.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.mcpat import TLBCostModel
 from repro.cost.pages import EQUAL_MENU, FLEX_HIGH_MENU, FLEX_LOW_MENU
@@ -48,3 +48,21 @@ def test_table5(benchmark):
         # ±15%: the 51/13-entry points interpolate the calibrated model.
         assert abs(area - paper_area) / paper_area < 0.20
         assert abs(power - paper_power) / paper_power < 0.40
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: TLB cost vs page-size menu (Table 5)."""
+    rows = compute_table5()
+    print_table(
+        "Table 5 — TLB cost vs page-size menu (48 cores)",
+        ["menu", "page sizes (KB)", "entries/core", "area mm²", "power W"],
+        rows,
+    )
+    return {
+        name: {"entries_per_core": entries, "area_mm2": area, "power_w": power}
+        for name, _, entries, area, power in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

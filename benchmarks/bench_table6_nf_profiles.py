@@ -5,7 +5,7 @@ FW 11/34/11, DPI 28/51/13, NAT 25/37/10, LB 10/22/10, LPM 37/23/7,
 Mon 183/46/12.  (Our FW Flex-low is 33 — see EXPERIMENTS.md.)
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.pages import EQUAL_MENU, FLEX_HIGH_MENU, FLEX_LOW_MENU, MB
 from repro.cost.profiles import NF_PROFILES
@@ -50,3 +50,24 @@ def test_table6(benchmark):
         assert equal == paper_equal
         assert abs(flex_low - paper_low) <= 1  # FW: 33 vs 34
         assert flex_high == paper_high
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: NF memory profiles + TLB entries (Table 6)."""
+    rows = compute_table6()
+    print_table(
+        "Table 6 — NF memory profiles",
+        ["NF", "text MB", "data MB", "code MB", "heap MB", "total MB",
+         "Equal", "Flex-low", "Flex-high", "MUR %"],
+        rows,
+    )
+    return {
+        row[0]: {"total_mb": row[5], "equal_entries": row[6],
+                 "flex_low_entries": row[7], "flex_high_entries": row[8],
+                 "mur_pct": row[9]}
+        for row in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

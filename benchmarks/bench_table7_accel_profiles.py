@@ -3,7 +3,7 @@
 Paper: DPI 101.90 MB → 54 entries, ZIP 132.24 MB → 70, RAID 8.13 MB → 5.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.pages import EQUAL_MENU, MB
 from repro.cost.profiles import ACCEL_PROFILES
@@ -33,3 +33,21 @@ def test_table7(benchmark):
     )
     for name, _, _, entries in rows:
         assert entries == PAPER[name]
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: accelerator memory profiles (Table 7)."""
+    rows = compute_table7()
+    print_table(
+        "Table 7 — accelerator memory profiles",
+        ["accel", "regions", "total MB", "TLB entries"],
+        rows,
+    )
+    return {
+        name: {"total_mb": total_mb, "tlb_entries": entries}
+        for name, _, total_mb, entries in rows
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -3,7 +3,7 @@
 Paper: FW 100.0%, DPI 100.0%, NAT 72.3%, LB 30.2%, LPM 100.0%, Mon 68.3%.
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.profiles import mur_table
 
@@ -27,3 +27,18 @@ def test_table8(benchmark):
     )
     for name, _, _, mur in rows:
         assert abs(mur - PAPER_MUR[name]) < 0.5
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: memory utilization ratios (Table 8)."""
+    rows = compute_table8()
+    print_table(
+        "Table 8 — memory utilization ratios",
+        ["NF", "prealloc MB", "used MB", "MUR %"],
+        rows,
+    )
+    return {name: mur for name, _, _, mur in rows}
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

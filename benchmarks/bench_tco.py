@@ -4,7 +4,7 @@ Paper: LiquidIO $38.97/core, host $163.56/core, S-NIC $42.53/core;
 the NIC's TCO advantage drops 8.37% (91.6% preserved).
 """
 
-from _common import print_table
+from _common import bench_main, print_table
 
 from repro.cost.tco import paper_tco_analysis
 
@@ -31,3 +31,18 @@ def test_tco(benchmark):
     assert abs(results["nic_tco_per_core"] - 38.97) < 0.05
     assert abs(results["snic_tco_per_core"] - 42.53) < 0.05
     assert abs(results["advantage_reduction_pct"] - 8.37) < 0.1
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: three-year TCO analysis (§5.2)."""
+    results = compute_tco()
+    print_table(
+        "§5.2 — three-year TCO",
+        ["quantity", "reproduced"],
+        [(k, v) for k, v in results.items()],
+    )
+    return dict(results)
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

@@ -7,6 +7,11 @@ Commands:
 * ``trace``   — run the two-tenant co-tenancy demo with tracing on and
   write a Chrome/Perfetto-loadable ``trace_event`` JSON
   (``python -m repro trace -o snic_trace.json``)
+* ``bench``   — run the unified benchmark harness over every
+  ``benchmarks/bench_*.py`` scenario and write a schema-versioned
+  ``BENCH_<timestamp>.json`` (``--quick`` for CI-sized runs,
+  ``--profile`` for a flamegraph of the co-tenancy scenario,
+  ``--compare A B`` to diff two artifacts and flag regressions)
 * ``info``    — version + package inventory (default)
 """
 
@@ -21,9 +26,9 @@ def _info() -> None:
     print(f"repro {repro.__version__} — S-NIC (EuroSys 2024) reproduction")
     print("subpackages:", ", ".join(repro.__all__))
     print()
-    print("commands: python -m repro [info|report|attacks|trace]")
+    print("commands: python -m repro [info|report|attacks|trace|bench]")
     print("tests:    pytest tests/")
-    print("benches:  pytest benchmarks/ --benchmark-only -s")
+    print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
 
 
 def _trace(argv: list) -> int:
@@ -67,12 +72,87 @@ def _trace(argv: list) -> int:
     return 0
 
 
+def _bench(argv: list) -> int:
+    """``python -m repro bench [--quick] [--profile] [--compare A B]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run every benchmarks/bench_*.py scenario under the "
+                    "unified harness and write a schema-versioned "
+                    "BENCH_<timestamp>.json, or diff two such artifacts.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized parameters (seconds, not minutes)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also profile the co-tenancy scenario and "
+                             "write a collapsed-stack flamegraph file")
+    parser.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                        help="diff two BENCH_*.json artifacts instead of "
+                             "running; exits 1 when a regression is flagged")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold for --compare, percent "
+                             "(default 20)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME",
+                        help="run only scenarios whose name contains NAME "
+                             "(repeatable)")
+    parser.add_argument("--out", default=None,
+                        help="artifact path (default: BENCH_<ts>.json at "
+                             "the repo root)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="stream each scenario's own table output")
+    args = parser.parse_args(argv)
+
+    from repro.obs import bench
+
+    if args.compare:
+        report = bench.compare_paths(args.compare[0], args.compare[1],
+                                     threshold=args.threshold / 100.0)
+        print(bench.format_compare(report))
+        return 1 if report["n_regressions"] else 0
+
+    def progress(record):
+        marker = {"ok": "ok", "error": "ERROR", "skipped": "skip"}[record.status]
+        print(f"  {record.name:<28} {marker:<5} {record.wall_s:>8.3f}s  "
+              f"sim {record.sim_time_ns:>12} ns  "
+              f"{record.events_executed:>7} events  "
+              f"{record.trace_events:>6} trace-ev")
+        if record.error:
+            print("    " + record.error.strip().replace("\n", "\n    "))
+
+    mode = "quick" if args.quick else "full"
+    print(f"repro bench — {mode} run over benchmarks/bench_*.py")
+    artifact = bench.run_benchmarks(
+        quick=args.quick, only=args.only, capture=not args.verbose,
+        progress=progress)
+    out_path = bench.write_artifact(artifact, args.out)
+    print(f"\nwrote {out_path}: {artifact['n_ok']}/{artifact['n_benchmarks']} "
+          f"scenarios ok in {artifact['total_wall_s']:.1f}s "
+          f"(schema {artifact['schema']}/v{artifact['schema_version']})")
+
+    if args.profile:
+        from repro.obs.profile import profile_cotenancy_scenario
+
+        collapsed = str(out_path).replace(".json", "") + ".collapsed"
+        result = profile_cotenancy_scenario(collapsed_path=collapsed)
+        profiler = result["profiler"]
+        print(f"\nwrote {collapsed} "
+              f"({len(profiler.collapsed())} stacks; feed it to "
+              f"flamegraph.pl or https://www.speedscope.app)")
+        print(profiler.format_report(top=15))
+
+    return 0 if artifact["n_error"] == 0 else 1
+
+
 def main(argv: list) -> int:
     command = argv[1] if len(argv) > 1 else "info"
     if command == "info":
         _info()
     elif command == "trace":
         return _trace(argv[2:])
+    elif command == "bench":
+        return _bench(argv[2:])
     elif command == "report":
         from repro.report import main as report_main
 

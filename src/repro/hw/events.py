@@ -7,6 +7,23 @@ arrivals, and the instruction-latency oracle all schedule events here.
 The kernel is intentionally minimal — a monotonic clock plus a stable
 priority queue of callbacks — because the heavy lifting (cache behaviour,
 arbitration) lives in the component models.
+
+Telemetry
+---------
+
+Every :class:`Simulator` feeds two process-wide counters — events
+executed and simulated nanoseconds advanced — exposed through
+:func:`kernel_stats`.  The benchmark harness (:mod:`repro.obs.bench`)
+snapshots them around each scenario so every ``BENCH_*.json`` records
+how much simulated work a benchmark actually did; the cost on the event
+hot path is two integer adds.
+
+A :class:`Simulator` can also carry a *profiler* (see
+:mod:`repro.obs.profile`): when attached via :meth:`Simulator.set_profiler`
+the kernel times every callback with the host's monotonic clock and
+reports ``(callback, host_ns, sim_ns)`` per event, which is how host
+wall-time gets attributed to simulation work.  Detached (the default),
+the only cost is one attribute load and a falsy branch per event.
 """
 
 from __future__ import annotations
@@ -14,7 +31,35 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from time import perf_counter_ns
+from typing import Callable, Dict, List, Optional
+
+
+class _KernelStats:
+    """Process-wide tallies of discrete-event work (cheap by design)."""
+
+    __slots__ = ("events_executed", "sim_ns_advanced")
+
+    def __init__(self) -> None:
+        self.events_executed = 0
+        self.sim_ns_advanced = 0
+
+
+_KERNEL = _KernelStats()
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Cumulative counters across every :class:`Simulator` instance."""
+    return {
+        "events_executed": _KERNEL.events_executed,
+        "sim_ns_advanced": _KERNEL.sim_ns_advanced,
+    }
+
+
+def reset_kernel_stats() -> None:
+    """Zero the process-wide kernel counters (harness/test isolation)."""
+    _KERNEL.events_executed = 0
+    _KERNEL.sim_ns_advanced = 0
 
 
 @dataclass(order=True)
@@ -51,6 +96,15 @@ class Simulator:
         self._sequence = itertools.count()
         self._now_ns = 0
         self._running = False
+        self._profiler = None
+
+    def set_profiler(self, profiler) -> None:
+        """Attach (or with ``None`` detach) a per-event profiler.
+
+        The profiler must expose ``on_kernel_event(callback, host_ns,
+        sim_ns)``; see :class:`repro.obs.profile.Profiler`.
+        """
+        self._profiler = profiler
 
     @property
     def now_ns(self) -> int:
@@ -78,8 +132,18 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            advanced = event.time_ns - self._now_ns
             self._now_ns = event.time_ns
-            event.callback()
+            profiler = self._profiler
+            if profiler is not None:
+                host_start = perf_counter_ns()
+                event.callback()
+                profiler.on_kernel_event(
+                    event.callback, perf_counter_ns() - host_start, advanced)
+            else:
+                event.callback()
+            _KERNEL.events_executed += 1
+            _KERNEL.sim_ns_advanced += advanced
             return True
         return False
 

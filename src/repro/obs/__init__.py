@@ -15,6 +15,15 @@ hot layer:
 * exporters — Chrome ``trace_event`` JSON for Perfetto
   (:mod:`repro.obs.chrome_trace`), flat CSV/JSON metric dumps and a
   table printer (:mod:`repro.obs.export`).
+* :mod:`repro.obs.profile` — a deterministic profiler attributing
+  simulated nanoseconds and host wall-time to (layer, tenant,
+  operation) frames, with flamegraph (collapsed-stack) and top-N
+  report exporters.
+* :mod:`repro.obs.bench` — the unified benchmark harness behind
+  ``python -m repro bench``: runs every ``benchmarks/bench_*.py``
+  scenario under a fresh registry and writes a schema-versioned
+  ``BENCH_<timestamp>.json`` with wall-time, sim-time, and event-count
+  telemetry, plus artifact diffing with regression flags.
 
 Quickstart::
 
@@ -46,6 +55,8 @@ from repro.obs.metrics import (
     get_registry,
     instance_label,
 )
+from repro.obs.metrics import reset as reset_metrics
+from repro.obs.profile import Profiler, profile_cotenancy_scenario
 from repro.obs.tracer import (
     NOOP_SPAN,
     TraceEvent,
@@ -61,6 +72,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "Profiler",
     "TraceEvent",
     "Tracer",
     "disable_tracing",
@@ -71,6 +83,8 @@ __all__ = [
     "instance_label",
     "metrics_rows",
     "metrics_to_csv",
+    "profile_cotenancy_scenario",
+    "reset_metrics",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_metrics_csv",

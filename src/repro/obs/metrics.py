@@ -286,3 +286,29 @@ _REGISTRY = MetricsRegistry()
 
 def get_registry() -> MetricsRegistry:
     return _REGISTRY
+
+
+def snapshot() -> List[Dict[str, object]]:
+    """Convenience: :meth:`MetricsRegistry.snapshot` of the default
+    registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Return the default registry to its import-time state.
+
+    Drops every instrument and collector *and* restarts the per-instance
+    serial counter, so two scenarios run back to back mint identical
+    labels (``l2#1``, ``bus#2`` …) instead of the second run's instances
+    continuing the first run's numbering.  This is what keeps
+    consecutive benchmarks — and consecutive tests — from aliasing each
+    other's per-instance metric families.
+
+    Components constructed *before* a reset keep counting into their
+    (now unregistered) instrument objects; construct fresh components
+    after resetting, which is what the benchmark harness and the test
+    fixture both do.
+    """
+    global _instance_serial
+    _REGISTRY.clear()
+    _instance_serial = itertools.count(1)

@@ -47,7 +47,10 @@ def sample_snic_gauges(snic, registry: Optional[metrics.MetricsRegistry] = None)
     registry on demand, which is the zero-overhead half of the §4.2/§4.3
     "per-bank TLB hit rate" telemetry.
     """
-    registry = registry or metrics.get_registry()
+    # NB: an empty MetricsRegistry is falsy (it defines __len__), so an
+    # ``or`` default would silently discard a freshly created registry.
+    if registry is None:
+        registry = metrics.get_registry()
     for record in (snic.record(nf_id) for nf_id in snic.live_functions):
         for cluster in record.clusters:
             if cluster.tlb.lookups:
@@ -71,11 +74,15 @@ def run_cotenancy_scenario(
     out_path: str = "snic_trace.json",
     n_packets: int = 60,
     metrics_path: Optional[str] = None,
+    profiler=None,
 ) -> Dict[str, object]:
     """Run the two-tenant demo and write a Perfetto-loadable trace.
 
     Returns a summary dict (paths, counts, layers covered, tenants
-    observed) used by the CLI and asserted by the test suite.
+    observed) used by the CLI and asserted by the test suite.  Passing a
+    :class:`repro.obs.profile.Profiler` additionally hooks the
+    event-driven phase's kernel, so host wall-time per executed event is
+    attributed alongside the simulated-time span profile.
     """
     # Imports here keep ``import repro.obs`` itself dependency-light.
     from repro.core import NFConfig, NICOS, SNIC
@@ -118,6 +125,8 @@ def run_cotenancy_scenario(
     # ------------------------------------------------------------------
     runtime = SNICRuntime(snic, poll_interval_ns=2_000,
                           service_ns_per_packet=600)
+    if profiler is not None:
+        profiler.attach_kernel(runtime.sim)
     runtime.attach(fw_vnic.nf_id, Firewall(make_emerging_threats_rules(64)))
     runtime.attach(mon_vnic.nf_id, Monitor())
     packets: List[Packet] = []
@@ -129,6 +138,8 @@ def run_cotenancy_scenario(
         packets.append(packet)
     runtime.inject(packets)
     stats = runtime.run()
+    if profiler is not None:
+        profiler.detach_kernel(runtime.sim)
 
     # ------------------------------------------------------------------
     # Phase 2: direct contention on the shared microarchitecture (cache,

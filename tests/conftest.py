@@ -8,8 +8,24 @@ from repro.core import NFConfig, NICOS, SNIC
 from repro.core.vpp import VPPConfig
 from repro.net.packet import Packet
 from repro.net.rules import MatchRule, Prefix
+from repro.obs import metrics
 
 MB = 1024 * 1024
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics_registry():
+    """Reset the process-global metrics registry around every test.
+
+    Components mint per-instance serial labels (``l2#7``) from a
+    process-global counter; without this, each test's instruments
+    depend on how many components every *earlier* test constructed, so
+    registry state (and label names) leak across tests.  The reset also
+    restarts the serial counter, making labels deterministic per test.
+    """
+    metrics.reset()
+    yield
+    metrics.reset()
 
 
 @pytest.fixture

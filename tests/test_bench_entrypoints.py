@@ -1,0 +1,73 @@
+"""Smoke tests for the ``run(quick)`` entry points of the bench scripts.
+
+The harness (:mod:`repro.obs.bench`) discovers and executes every
+``benchmarks/bench_*.py`` through a uniform ``run(quick: bool) -> dict``
+contract.  These tests load a representative set of fast scripts the
+same way the harness does and check that ``run(quick=True)`` returns
+the key model outputs each one promises.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+
+import pytest
+
+from repro.obs import bench
+
+
+def run_quick(name: str) -> dict:
+    """Load ``benchmarks/bench_<name>.py`` and call run(quick=True)."""
+    matches = [p for p in bench.discover() if bench.scenario_name(p) == name]
+    assert matches, f"no bench script named {name}"
+    module = bench.load_scenario(matches[0])
+    with contextlib.redirect_stdout(io.StringIO()) as buf:
+        outputs = module.run(quick=True)
+    assert isinstance(outputs, dict) and outputs
+    assert buf.getvalue().strip(), "run() should print its table"
+    return outputs
+
+
+def test_tco():
+    outputs = run_quick("tco")
+    assert outputs["nic_tco_per_core"] == pytest.approx(38.97, abs=0.05)
+    assert outputs["snic_tco_per_core"] == pytest.approx(42.53, abs=0.05)
+
+
+def test_table7_accel_profiles():
+    outputs = run_quick("table7_accel_profiles")
+    assert outputs["DPI"]["tlb_entries"] == 54
+    assert outputs["ZIP"]["tlb_entries"] == 70
+    assert outputs["RAID"]["tlb_entries"] == 5
+
+
+def test_table8_mur():
+    outputs = run_quick("table8_mur")
+    assert outputs["FW"] == pytest.approx(100.0, abs=0.5)
+    assert outputs["LB"] == pytest.approx(30.2, abs=0.5)
+
+
+def test_fig6_instruction_latency():
+    outputs = run_quick("fig6_instruction_latency")
+    assert set(outputs) >= {"nf_launch_total_ms", "nf_destroy_total_ms"}
+    assert all(v > 0 for v in outputs["nf_launch_total_ms"].values())
+
+
+def test_headline_overheads():
+    outputs = run_quick("headline_overheads")
+    assert outputs  # headline area/power numbers present and positive
+    numeric = [v for v in outputs.values() if isinstance(v, (int, float))]
+    assert numeric and all(v >= 0 for v in numeric)
+
+
+def test_ablation_bus_quick_reduces_sweep():
+    outputs = run_quick("ablation_bus")
+    # quick mode sweeps only the two smallest domain counts
+    assert outputs["domains"] == [2, 4]
+    assert len(outputs["tp_wait_ns"]) == 2
+
+
+def test_snic_lifecycle_timings():
+    outputs = run_quick("snic_lifecycle")
+    assert all(v > 0 for v in outputs.values())

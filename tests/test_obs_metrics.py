@@ -11,6 +11,7 @@ from repro.obs.export import (
     metrics_to_csv,
     write_metrics_json,
 )
+from repro.obs import metrics
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -271,3 +272,36 @@ class TestBusMigration:
                                         bus=bus._obs_label, tenant=1)
         assert hist.count == 1
         assert hist.mean == pytest.approx(100.0)
+
+
+class TestModuleReset:
+    """The module-level reset()/snapshot() API used by the bench
+    harness and the autouse conftest fixture."""
+
+    def test_reset_clears_global_registry(self):
+        get_registry().counter("stale_counter", tenant=1).inc(5)
+        assert len(get_registry()) > 0
+        metrics.reset()
+        assert len(get_registry()) == 0
+        assert metrics.snapshot() == []
+
+    def test_reset_restarts_instance_serials(self):
+        first = instance_label("l2")
+        metrics.reset()
+        assert instance_label("l2") == first
+
+    def test_serials_unique_between_resets(self):
+        metrics.reset()
+        assert instance_label("bus") == "bus#1"
+        assert instance_label("bus") == "bus#2"
+        assert instance_label("dma") == "dma#3"
+
+    def test_registry_object_survives_reset(self):
+        registry = get_registry()
+        metrics.reset()
+        assert get_registry() is registry
+
+    def test_module_snapshot_sees_global_registry(self):
+        get_registry().gauge("fresh_gauge", tenant=2).set(7.0)
+        names = {row["name"] for row in metrics.snapshot()}
+        assert "fresh_gauge" in names
