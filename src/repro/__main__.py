@@ -11,7 +11,13 @@ Commands:
   ``benchmarks/bench_*.py`` scenario and write a schema-versioned
   ``BENCH_<timestamp>.json`` (``--quick`` for CI-sized runs,
   ``--profile`` for a flamegraph of the co-tenancy scenario,
-  ``--compare A B`` to diff two artifacts and flag regressions)
+  ``--compare A B`` to diff two artifacts and flag regressions,
+  ``--sanitize`` to run every scenario under the IsoSan runtime
+  sanitizer)
+* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC005) over
+  the source tree (``--format text|json|github``)
+* ``sanitize`` — determinism checker: run the co-tenancy demo twice
+  and fail on event-stream digest divergence
 * ``info``    — version + package inventory (default)
 """
 
@@ -26,9 +32,12 @@ def _info() -> None:
     print(f"repro {repro.__version__} — S-NIC (EuroSys 2024) reproduction")
     print("subpackages:", ", ".join(repro.__all__))
     print()
-    print("commands: python -m repro [info|report|attacks|trace|bench]")
+    print("commands: python -m repro "
+          "[info|report|attacks|trace|bench|lint|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
+    print("analysis: python -m repro lint [--format github]; "
+          "python -m repro sanitize")
 
 
 def _trace(argv: list) -> int:
@@ -102,6 +111,10 @@ def _bench(argv: list) -> int:
                              "the repo root)")
     parser.add_argument("--verbose", action="store_true",
                         help="stream each scenario's own table output")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every scenario under the IsoSan runtime "
+                             "sanitizer (isolation violations become "
+                             "scenario errors)")
     args = parser.parse_args(argv)
 
     from repro.obs import bench
@@ -122,10 +135,19 @@ def _bench(argv: list) -> int:
             print("    " + record.error.strip().replace("\n", "\n    "))
 
     mode = "quick" if args.quick else "full"
-    print(f"repro bench — {mode} run over benchmarks/bench_*.py")
-    artifact = bench.run_benchmarks(
-        quick=args.quick, only=args.only, capture=not args.verbose,
-        progress=progress)
+    suffix = " [IsoSan]" if args.sanitize else ""
+    print(f"repro bench — {mode} run over benchmarks/bench_*.py{suffix}")
+    if args.sanitize:
+        from repro.analysis.isosan import sanitized
+
+        with sanitized():
+            artifact = bench.run_benchmarks(
+                quick=args.quick, only=args.only, capture=not args.verbose,
+                progress=progress)
+    else:
+        artifact = bench.run_benchmarks(
+            quick=args.quick, only=args.only, capture=not args.verbose,
+            progress=progress)
     out_path = bench.write_artifact(artifact, args.out)
     print(f"\nwrote {out_path}: {artifact['n_ok']}/{artifact['n_benchmarks']} "
           f"scenarios ok in {artifact['total_wall_s']:.1f}s "
@@ -153,6 +175,14 @@ def main(argv: list) -> int:
         return _trace(argv[2:])
     elif command == "bench":
         return _bench(argv[2:])
+    elif command == "lint":
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(argv[2:])
+    elif command == "sanitize":
+        from repro.analysis.determinism import main as sanitize_main
+
+        return sanitize_main(argv[2:])
     elif command == "report":
         from repro.report import main as report_main
 

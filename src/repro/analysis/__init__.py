@@ -1,0 +1,49 @@
+"""``repro.analysis`` — correctness tooling for the S-NIC reproduction.
+
+The paper's argument (§4) is that *single-owner semantics* — page
+ownership, locked TLBs, way-partitioned caches, temporally partitioned
+buses — eliminate cross-tenant channels.  ``repro.hw`` encodes those
+invariants; this package *checks* that new code keeps them:
+
+* :mod:`repro.analysis.lint` — a custom AST lint engine with
+  S-NIC-specific rules (SNIC001–SNIC005): static isolation-bypass
+  detection, nondeterminism in simulation paths, event-callback races,
+  untagged telemetry, and float sim-time arithmetic.
+  CLI: ``python -m repro lint``.
+* :mod:`repro.analysis.isosan` — **IsoSan**, a TSan/ASan-style runtime
+  sanitizer that interposes on :class:`~repro.hw.memory.PhysicalMemory`,
+  :class:`~repro.hw.cache.Cache`, :class:`~repro.hw.mmu.TLB`, the bus
+  arbiter, and the DMA banks, raising
+  :class:`~repro.core.errors.IsolationViolation` on cross-tenant
+  access, unscrubbed page reuse, overlapping TLB installs, and
+  partition-boundary cache fills.
+* :mod:`repro.analysis.determinism` — runs a scenario twice under
+  :mod:`repro.obs` tracing and diffs event-stream digests; divergence
+  means a nondeterminism bug.  CLI: ``python -m repro sanitize``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.determinism import (
+    DeterminismReport,
+    RunDigest,
+    check_determinism,
+    check_cotenancy_determinism,
+    digest_events,
+)
+from repro.analysis.isosan import IsoSan, get_isosan, sanitized
+from repro.analysis.lint import Finding, LintEngine, run_lint
+
+__all__ = [
+    "DeterminismReport",
+    "Finding",
+    "IsoSan",
+    "LintEngine",
+    "RunDigest",
+    "check_cotenancy_determinism",
+    "check_determinism",
+    "digest_events",
+    "get_isosan",
+    "run_lint",
+    "sanitized",
+]

@@ -1,0 +1,368 @@
+"""The S-NIC lint engine: an AST visitor framework with pluggable rules.
+
+Generic linters cannot know that ``memory.claim_pages`` outside the
+trusted mediation layers is an isolation bypass, or that a float leaking
+into ``Simulator.schedule`` breaks event-order determinism.  This engine
+runs project-specific rules (:mod:`repro.analysis.rules`) over the
+source tree and reports findings with fix-it hints.
+
+Usage::
+
+    python -m repro lint                      # lint src/repro, text output
+    python -m repro lint --format json path/  # machine-readable
+    python -m repro lint --format github      # ::error annotations for CI
+
+Suppressions
+------------
+
+A finding is suppressed by a ``# snic: ignore[RULE]`` comment on the
+flagged line or anywhere in the contiguous pure-comment block directly
+above it (justifications are encouraged to run several lines).
+``# snic: ignore`` without a rule list suppresses every rule on that
+line.  Suppressions are expected to carry a justification in the same
+comment, e.g.::
+
+    # snic: ignore[SNIC001] — trusted hardware: nf_launch *is* the mediator
+    self.memory.claim_pages(nf_id, pages)
+
+``--show-suppressed`` lists what was silenced; the exit code only counts
+active findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*snic:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    hint: str = ""
+    suppressed: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    modname: str            # dotted module name, e.g. "repro.hw.cache"
+    text: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, modname: str) -> "ModuleSource":
+        text = path.read_text()
+        return cls(path=path, modname=modname, text=text,
+                   tree=ast.parse(text, filename=str(path)),
+                   lines=text.splitlines())
+
+    def suppressed_rules_at(self, line: int) -> Optional[set]:
+        """Rules silenced at 1-based ``line`` (None = not suppressed,
+        empty set = blanket ``# snic: ignore``).
+
+        The tag is honoured on the flagged line itself or anywhere in
+        the contiguous block of pure-comment lines directly above it —
+        justifications are encouraged to run longer than one line.
+        """
+        candidates = []
+        if 1 <= line <= len(self.lines):
+            candidates.append(self.lines[line - 1])
+        cursor = line - 1
+        while 1 <= cursor <= len(self.lines) and \
+                self.lines[cursor - 1].lstrip().startswith("#"):
+            candidates.append(self.lines[cursor - 1])
+            cursor -= 1
+        for text in candidates:
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                return set()
+            return {r.strip().upper() for r in rules.split(",") if r.strip()}
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``title``/``rationale``/``hint`` and
+    implement :meth:`check`.  ``rationale`` maps the rule to the paper
+    section whose invariant it protects (catalogued in DESIGN.md §1.5).
+    """
+
+    rule_id: str = "SNIC000"
+    title: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str,
+                hint: Optional[str] = None) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            message=message,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+
+def call_name(node: ast.Call) -> str:
+    """The called attribute/function name: ``a.b.c()`` -> ``"c"``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def receiver_token(node: ast.Call) -> str:
+    """The last name component of the call receiver, lowercased.
+
+    ``self.vnic._snic.memory.read(...)`` -> ``"memory"``;
+    ``get_registry().gauge(...)`` -> ``"get_registry"``;
+    ``host.read(...)`` -> ``"host"``; plain ``read(...)`` -> ``""``.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr.lower()
+    if isinstance(value, ast.Name):
+        return value.id.lower()
+    if isinstance(value, ast.Call):
+        return call_name(value).lower()
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression (``np.random.rand``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def has_keyword(node: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in node.keywords)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+def default_rules() -> List[Rule]:
+    from repro.analysis.rules import all_rules
+
+    return all_rules()
+
+
+def source_root() -> Path:
+    """The ``repro`` package directory of this checkout."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path`` (``repro.…`` when under src)."""
+    parts = path.resolve().with_suffix("").parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = ".".join(parts[index:])
+        return dotted[:-len(".__init__")] if dotted.endswith(".__init__") \
+            else dotted
+    return path.stem
+
+
+class LintEngine:
+    """Runs a rule set over files/trees and collects findings."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None \
+            else default_rules()
+
+    def select(self, rule_ids: Iterable[str]) -> None:
+        wanted = {r.upper() for r in rule_ids}
+        self.rules = [r for r in self.rules if r.rule_id in wanted]
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        module = ModuleSource.parse(path, module_name_for(path))
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(module):
+                silenced = module.suppressed_rules_at(finding.line)
+                if silenced is not None and (
+                        not silenced or finding.rule in silenced):
+                    finding.suppressed = True
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return findings
+
+    def lint_paths(self, paths: Sequence[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in paths:
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    findings.extend(self.lint_file(file))
+            else:
+                findings.extend(self.lint_file(path))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+
+def _relpath(path: str) -> str:
+    try:
+        return str(Path(path).resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return path
+
+
+def format_text(findings: List[Finding],
+                show_suppressed: bool = False) -> str:
+    lines: List[str] = []
+    active = 0
+    for f in findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        tag = " (suppressed)" if f.suppressed else ""
+        lines.append(f"{_relpath(f.path)}:{f.line}:{f.col} "
+                     f"{f.rule}{tag} {f.message}")
+        if f.hint and not f.suppressed:
+            lines.append(f"    hint: {f.hint}")
+        active += 0 if f.suppressed else 1
+    lines.append(f"{active} finding(s)"
+                 + (f", {sum(1 for f in findings if f.suppressed)}"
+                    f" suppressed" if findings else ""))
+    return "\n".join(lines)
+
+
+def format_json(findings: List[Finding]) -> str:
+    return json.dumps({
+        "findings": [f.as_dict() for f in findings],
+        "n_active": sum(1 for f in findings if not f.suppressed),
+        "n_suppressed": sum(1 for f in findings if f.suppressed),
+    }, indent=2)
+
+
+def format_github(findings: List[Finding]) -> str:
+    """GitHub Actions workflow-command annotations (one per finding)."""
+    lines = []
+    for f in findings:
+        if f.suppressed:
+            continue
+        message = f.message + (f" Hint: {f.hint}" if f.hint else "")
+        # Workflow commands terminate on newlines; escape per the spec.
+        message = message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(f"::error file={_relpath(f.path)},line={f.line},"
+                     f"col={f.col},title={f.rule}::{message}")
+    return "\n".join(lines)
+
+
+FORMATTERS = {"text": format_text, "json": format_json,
+              "github": format_github}
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def run_lint(paths: Optional[Sequence[Path]] = None,
+             rules: Optional[Sequence[str]] = None,
+             ) -> Tuple[List[Finding], int]:
+    """Lint ``paths`` (default: the repro package); returns
+    ``(findings, exit_code)`` where the exit code counts only active
+    (unsuppressed) findings."""
+    engine = LintEngine()
+    if rules:
+        engine.select(rules)
+    findings = engine.lint_paths(list(paths) if paths else [source_root()])
+    active = sum(1 for f in findings if not f.suppressed)
+    return findings, (1 if active else 0)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="S-NIC-specific static analysis over the simulation "
+                    "stack (rule catalog: DESIGN.md §1.5).")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--format", choices=sorted(FORMATTERS),
+                        default="text")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings (text format)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"    rationale: {rule.rationale}")
+            print(f"    hint:      {rule.hint}")
+        return 0
+
+    rule_ids = [r for r in (args.rules or "").split(",") if r] or None
+    findings, code = run_lint(args.paths or None, rules=rule_ids)
+    if args.format == "text":
+        print(format_text(findings, show_suppressed=args.show_suppressed))
+    else:
+        output = FORMATTERS[args.format](findings)
+        if output:
+            print(output)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

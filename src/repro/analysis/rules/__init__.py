@@ -1,0 +1,32 @@
+"""The pluggable S-NIC rule catalog.
+
+Each module contributes :class:`~repro.analysis.lint.Rule` subclasses;
+:func:`all_rules` is the registry ``python -m repro lint`` runs.  Add a
+rule by defining the class and listing it in ``_RULE_CLASSES`` — the
+engine, formats, and suppression machinery need no changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.lint import Rule
+from repro.analysis.rules.isolation import IsolationBypassRule
+from repro.analysis.rules.nondeterminism import (
+    FloatSimTimeRule,
+    NondeterminismRule,
+)
+from repro.analysis.rules.races import CallbackGlobalMutationRule
+from repro.analysis.rules.telemetry import UntaggedTelemetryRule
+
+_RULE_CLASSES: List[Type[Rule]] = [
+    IsolationBypassRule,
+    NondeterminismRule,
+    CallbackGlobalMutationRule,
+    UntaggedTelemetryRule,
+    FloatSimTimeRule,
+]
+
+
+def all_rules() -> List[Rule]:
+    return [cls() for cls in _RULE_CLASSES]

@@ -1,0 +1,84 @@
+"""SNIC001 — static isolation-bypass detection.
+
+Section 4.2's single-owner semantics hinge on every RAM access flowing
+through a trusted mediation layer: locked TLB banks
+(:class:`repro.hw.mmu.GuardedAddressSpace`), window-checked DMA banks
+(:mod:`repro.hw.dma`), or the denylist-walking NIC OS entry points
+(:mod:`repro.core.nic_os`).  A direct
+``PhysicalMemory.read/write/claim_pages`` call anywhere else is either a
+bug or a new mediation layer that must be whitelisted deliberately.
+
+``repro.commodity`` is excluded by design: those models reproduce the
+§3.3 attacks, whose entire point is unmediated ``xkphys``-style access.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    call_name,
+    receiver_token,
+)
+
+#: Modules allowed to touch physical memory directly: the memory model
+#: itself plus the paper's three mediation layers.
+WHITELISTED_MODULES = (
+    "repro.hw.memory",
+    "repro.hw.mmu",
+    "repro.hw.dma",
+    "repro.core.nic_os",
+)
+
+#: The commodity substrate models the *absence* of mediation (§3.3).
+EXCLUDED_PREFIXES = ("repro.commodity",)
+
+#: Ownership-mutating methods: flagged on any receiver.
+_OWNERSHIP_METHODS = {"claim_pages", "release_pages", "zero_page"}
+
+#: Raw-access methods: flagged only when the receiver looks like a
+#: physical memory object (AST-level type inference is out of scope, so
+#: the receiver's final name component is the signal).
+_ACCESS_METHODS = {"read", "write", "read_u64", "write_u64"}
+_MEMORY_TOKENS = {
+    "memory", "mem", "dram", "host", "host_mem", "nic_mem", "hostmem",
+    "phys_mem", "physmem", "ram",
+}
+
+
+class IsolationBypassRule(Rule):
+    rule_id = "SNIC001"
+    title = "direct physical-memory access outside a mediation layer"
+    rationale = ("§4.1/§4.2: single-owner semantics require every access "
+                 "to route through locked TLBs, DMA windows, or the "
+                 "denylist-checked NIC OS")
+    hint = ("route the access through GuardedAddressSpace/ProgrammableCore "
+            "(TLB), DMABank (windows), or NICOS.os_read/os_write "
+            "(denylist); trusted-hardware call sites suppress with "
+            "# snic: ignore[SNIC001] and a justification")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.modname in WHITELISTED_MODULES:
+            return
+        if module.modname.startswith(EXCLUDED_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = call_name(node)
+            if method in _OWNERSHIP_METHODS:
+                yield self.finding(
+                    module, node,
+                    f"page-ownership call {method}() outside the "
+                    f"whitelisted mediation layers "
+                    f"({', '.join(WHITELISTED_MODULES)})")
+            elif method in _ACCESS_METHODS and \
+                    receiver_token(node) in _MEMORY_TOKENS:
+                yield self.finding(
+                    module, node,
+                    f"raw physical-memory {method}() bypasses TLB/DMA/"
+                    f"denylist mediation")

@@ -1,0 +1,70 @@
+"""SNIC004 — trace spans/metrics emitted without a tenant tag.
+
+The observability layer's contract (DESIGN.md §1.4) is that every event
+carries the paper's security-domain identity, so cross-tenant
+interference is *attributable* in Perfetto and in the metrics registry.
+An untagged span silently merges tenants — the exporter files it under
+the infrastructure process and per-tenant analyses under-count.
+
+The rule requires an **explicit** ``tenant=`` keyword on every tracer
+emission (``complete``/``instant``/``counter_sample``/``span``) and on
+every registry instrument mint (``counter``/``gauge``/``histogram``).
+``tenant=None`` is the sanctioned way to mark genuine infrastructure
+events — the point is that untagged emission must be a decision, not an
+omission.  Receivers are matched by name (``*tracer*``, ``*registry*``),
+the same approximation SNIC001 uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    call_name,
+    has_keyword,
+    receiver_token,
+)
+
+_TRACER_METHODS = {"complete", "instant", "counter_sample", "span"}
+_REGISTRY_METHODS = {"counter", "gauge", "histogram"}
+
+#: The observability plumbing itself mints/forwards instruments
+#: generically and cannot know a tenant.
+EXCLUDED_MODULES = ("repro.obs.tracer", "repro.obs.metrics",
+                    "repro.obs.export", "repro.obs.chrome_trace",
+                    "repro.analysis")
+
+
+class UntaggedTelemetryRule(Rule):
+    rule_id = "SNIC004"
+    title = "telemetry emitted without a tenant tag"
+    rationale = ("DESIGN.md §1.4 / paper §4: every observable event "
+                 "belongs to a security domain; untagged telemetry "
+                 "makes cross-tenant interference unattributable")
+    hint = ("pass tenant=<nf_id> (or an explicit tenant=None for "
+            "infrastructure events) on the emission call")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.modname.startswith(EXCLUDED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = call_name(node)
+            receiver = receiver_token(node)
+            if method in _TRACER_METHODS and "tracer" in receiver:
+                if not has_keyword(node, "tenant"):
+                    yield self.finding(
+                        module, node,
+                        f"tracer.{method}() without an explicit tenant= "
+                        f"tag")
+            elif method in _REGISTRY_METHODS and "registry" in receiver:
+                if not has_keyword(node, "tenant"):
+                    yield self.finding(
+                        module, node,
+                        f"registry.{method}() mints an instrument with "
+                        f"no tenant label")

@@ -113,8 +113,8 @@ class SNICRuntime:
                 self.stats.dropped += count
                 if tracer.enabled:
                     tracer.instant("packet.drop", ts_ns=self.sim.now_ns,
-                                   track="rx-port", cat="runtime",
-                                   count=count)
+                                   tenant=None, track="rx-port",
+                                   cat="runtime", count=count)
                 continue
             queue = self._arrival_by_identity.setdefault(nf_id, [])
             queue.extend([self.sim.now_ns] * count)

@@ -175,6 +175,8 @@ class SNIC:
         self._next_nf_id = 1
         #: Reserve the low region for the NIC OS (its code, rule staging).
         self._nic_os_pages = 64
+        # snic: ignore[SNIC001] -- trusted boot: the device claims the
+        # NIC OS region before any mediation layer exists (§4.1).
         self.memory.claim_pages(
             NIC_OS_OWNER, range(self._nic_os_pages)
         )
@@ -214,10 +216,15 @@ class SNIC:
         first_page = extent_base // self.memory.page_size
         n_pages = extent_bytes // self.memory.page_size
         pages = list(range(first_page, first_page + n_pages))
+        # snic: ignore[SNIC001] -- nf_launch IS the trusted hardware
+        # sequence (§4.6): ownership is established here, before the
+        # TLBs that will mediate every later access even exist.
         self.memory.claim_pages(nf_id, pages)
 
         # Initial code/data at VA 0.
         if config.initial_image:
+            # snic: ignore[SNIC001] -- trusted loader writes the
+            # measured image into the extent claimed two lines up.
             self.memory.write(extent_base, config.initial_image)
 
         # Denylist against the management core (§4.2).
@@ -392,6 +399,8 @@ class SNIC:
         if rules_base <= extent_base + len(config.initial_image):
             raise LaunchError("extent too small for rings + rules")
         if rules_blob:
+            # snic: ignore[SNIC001] -- trusted launch path stages the
+            # VPP rules inside the NF's freshly claimed extent (§4.4).
             self.memory.write(rules_base, rules_blob)
         return VirtualPacketPipeline(
             nf_id=nf_id,
@@ -421,6 +430,8 @@ class SNIC:
         offset = 0
         while offset < extent_bytes:
             size = min(chunk, extent_bytes - offset)
+            # snic: ignore[SNIC001] -- attestation measurement (§4.7):
+            # trusted hardware digests the extent it just initialized.
             hasher.update(self.memory.read(extent_base + offset, size))
             offset += size
         return hasher.digest()
@@ -460,6 +471,8 @@ class SNIC:
         """Atomically destroy a function, leaking nothing."""
         record = self.record(nf_id)
         # Zero pages *before* removing them from the denylist.
+        # snic: ignore[SNIC001] -- nf_teardown IS the trusted scrub
+        # sequence (§4.6); scrub=True is what makes reuse safe.
         self.memory.release_pages(nf_id, scrub=True)
         self.denylist.allow(record.pages)
         for core_id in record.config.core_ids:
@@ -490,8 +503,8 @@ class SNIC:
             self.l2, self.live_functions
         )
         if _TRACER.enabled:
-            _TRACER.instant("cache.repartition", track="snic-lifecycle",
-                            cat="lifecycle",
+            _TRACER.instant("cache.repartition", tenant=None,
+                            track="snic-lifecycle", cat="lifecycle",
                             allocation={str(k): v for k, v
                                         in self._cache_allocation.items()})
 
@@ -518,7 +531,8 @@ class SNIC:
             )
         )
         if _TRACER.enabled:
-            _TRACER.instant("bus.rebuild_epochs", track="snic-lifecycle",
+            _TRACER.instant("bus.rebuild_epochs", tenant=None,
+                            track="snic-lifecycle",
                             cat="lifecycle", domains=list(domains),
                             epoch_ns=self._bus_epoch_ns,
                             dead_time_ns=self._bus_dead_ns)

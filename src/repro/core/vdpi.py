@@ -98,6 +98,9 @@ class VirtualDPI:
         paddr = self.cluster.tlb.translate_range(
             self._graph_vbase + voffset, size
         )
+        # snic: ignore[SNIC001] -- the raw read is mediated: paddr just
+        # came out of the cluster's *locked* TLB bank one line up, which
+        # is exactly the §4.3 accelerator access path.
         return self.vnic._snic.memory.read(paddr, size)
 
     def _read_node(self, state: int) -> _Node:

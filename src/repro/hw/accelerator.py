@@ -198,7 +198,7 @@ class AcceleratorCluster:
             self._obs_by_tenant[tenant] = instruments
             self._occupancy_gauge = registry.gauge(
                 "accel_thread_occupancy", cluster=self._obs_label,
-                kind=self.kind.value)
+                kind=self.kind.value, tenant=tenant)
         requests_counter, latency_hist = instruments
         requests_counter.value += 1.0
         latency_hist.observe(request.latency_ns)

@@ -25,7 +25,7 @@ Two arbiters are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry, \
     instance_label
@@ -209,7 +209,7 @@ class IOBus:
     are directly visible in Perfetto.
     """
 
-    def __init__(self, arbiter,
+    def __init__(self, arbiter: Union[FCFSArbiter, TemporalPartitioningArbiter],
                  registry: Optional[MetricsRegistry] = None) -> None:
         self.arbiter = arbiter
         self.requests: List[BusRequest] = []
@@ -226,7 +226,7 @@ class IOBus:
         return {client: int(counter.value)
                 for client, counter in self._bytes.items()}
 
-    def _instruments_for(self, client: int):
+    def _instruments_for(self, client: int) -> Tuple[Counter, Histogram, Histogram]:
         bytes_counter = self._registry.counter(
             "bus_bytes_total", bus=self._obs_label, tenant=client)
         latency = self._registry.histogram(

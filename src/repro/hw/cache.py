@@ -237,15 +237,15 @@ class Cache:
         capacity = self.ways_for(owner) if self.mode != SHARED else self.config.ways
         if self.mode == SHARED:
             if len(lines) >= capacity:
-                victim = min(lines, key=lambda l: l.stamp)
+                victim = min(lines, key=lambda line: line.stamp)
                 lines.remove(victim)
                 self._count_eviction(victim.owner)
             lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
             return
         # Partitioned fill: victimize only within the owner's ways.
-        own = [l for l in lines if l.owner == owner]
+        own = [line for line in lines if line.owner == owner]
         if len(own) >= capacity:
-            victim = min(own, key=lambda l: l.stamp)
+            victim = min(own, key=lambda line: line.stamp)
             lines.remove(victim)
             self._count_eviction(victim.owner)
         lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
@@ -262,7 +262,7 @@ class Cache:
 
     def occupancy(self, owner: int) -> int:
         """Number of resident lines owned by ``owner``."""
-        return sum(1 for lines in self._sets for l in lines if l.owner == owner)
+        return sum(1 for lines in self._sets for line in lines if line.owner == owner)
 
     def resident(self, addr: int, owner: Optional[int] = None) -> bool:
         """True when the line holding ``addr`` is resident (for any owner
@@ -279,7 +279,7 @@ class Cache:
         """Evict (scrub) every line belonging to ``owner`` (teardown)."""
         evicted = 0
         for lines in self._sets:
-            keep = [l for l in lines if l.owner != owner]
+            keep = [line for line in lines if line.owner != owner]
             evicted += len(lines) - len(keep)
             lines[:] = keep
         if _TRACER.enabled:

@@ -32,7 +32,10 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.profile import Profiler
 
 
 class _KernelStats:
@@ -96,9 +99,9 @@ class Simulator:
         self._sequence = itertools.count()
         self._now_ns = 0
         self._running = False
-        self._profiler = None
+        self._profiler: Optional[Profiler] = None
 
-    def set_profiler(self, profiler) -> None:
+    def set_profiler(self, profiler: Optional[Profiler]) -> None:
         """Attach (or with ``None`` detach) a per-event profiler.
 
         The profiler must expose ``on_kernel_event(callback, host_ns,

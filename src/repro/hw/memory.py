@@ -33,10 +33,18 @@ class OutOfMemoryError(Exception):
 
 @dataclass
 class PageInfo:
-    """Metadata the trusted hardware tracks per physical page."""
+    """Metadata the trusted hardware tracks per physical page.
+
+    ``dirty_from`` records a stale-data hazard: the previous owner whose
+    bytes still sit in the page because it was released with
+    ``scrub=False``.  ``None`` means the page is clean (scrubbed, or
+    never written).  Reassigning a dirty page without zeroing it first
+    is exactly the §4.6 leak IsoSan flags.
+    """
 
     owner: Optional[int] = FREE
     denylisted: bool = False
+    dirty_from: Optional[int] = None
 
 
 class PhysicalMemory:
@@ -104,19 +112,28 @@ class PhysicalMemory:
         Returns the number of pages released.  ``scrub=True`` is the
         ``nf_teardown`` behaviour: pages are zeroed *before* leaving the
         denylist so no data survives for the next owner (§4.6).
+        ``scrub=False`` marks every still-materialized page with
+        ``dirty_from=owner`` — a recorded stale-data hazard that
+        :meth:`zero_page` clears and IsoSan checks on re-claim.
         """
         released = 0
         for idx in self.pages_owned_by(owner):
+            info = self._info[idx]
             if scrub:
                 self.zero_page(idx)
-            self._info[idx].owner = FREE
-            self._info[idx].denylisted = False
+            elif idx in self._pages:
+                info.dirty_from = owner
+            info.owner = FREE
+            info.denylisted = False
             released += 1
         return released
 
     def zero_page(self, page_index: int) -> None:
         self._check_page(page_index)
         self._pages.pop(page_index, None)
+        info = self._info.get(page_index)
+        if info is not None:
+            info.dirty_from = None
 
     def find_free_pages(self, count: int, start: int = 0) -> List[int]:
         """First-fit search for ``count`` free pages (need not be contiguous)."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.hw.memory import AccessFault
+from repro.hw.memory import AccessFault, PhysicalMemory
 
 
 class TLBMiss(Exception):
@@ -244,7 +244,7 @@ class GuardedAddressSpace:
     create mappings, not data-path accesses (§4.2).
     """
 
-    def __init__(self, tlb: TLB, memory) -> None:
+    def __init__(self, tlb: TLB, memory: PhysicalMemory) -> None:
         self.tlb = tlb
         self.memory = memory
 

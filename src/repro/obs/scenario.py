@@ -56,13 +56,14 @@ def sample_snic_gauges(snic, registry: Optional[metrics.MetricsRegistry] = None)
             if cluster.tlb.lookups:
                 registry.gauge(
                     "accel_tlb_hit_rate", cluster=cluster._obs_label,
-                    kind=cluster.kind.value).set(
+                    kind=cluster.kind.value, tenant=record.nf_id).set(
                     1.0 - cluster.tlb.misses / cluster.tlb.lookups)
         registry.gauge("l2_occupancy_lines",
                        tenant=record.nf_id).set(snic.l2.occupancy(record.nf_id))
     for core in snic.cores:
         if core.tlb.lookups:
-            registry.gauge("core_tlb_hit_rate", core=core.core_id).set(
+            registry.gauge("core_tlb_hit_rate", core=core.core_id,
+                           tenant=core.owner).set(
                 1.0 - core.tlb.misses / core.tlb.lookups)
     for bank in snic.dma.banks:
         if bank.owner is not None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import isosan
 from repro.core import NFConfig, NICOS, SNIC
 from repro.core.vpp import VPPConfig
 from repro.net.packet import Packet
@@ -11,6 +12,33 @@ from repro.net.rules import MatchRule, Prefix
 from repro.obs import metrics
 
 MB = 1024 * 1024
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_isosan: run this test without the IsoSan runtime sanitizer "
+        "(for tests that deliberately exercise unmediated access)")
+
+
+@pytest.fixture(autouse=True)
+def isosan_enabled(request):
+    """Run every test under the IsoSan runtime sanitizer.
+
+    The whole suite doubles as IsoSan's regression corpus: any test that
+    drives the hardware models through an isolation-violating path fails
+    with :class:`~repro.core.errors.IsolationViolation` instead of
+    silently succeeding.  Tests that *deliberately* model unmediated
+    access (the §3.3 commodity attacks operate as the attacker) opt out
+    with ``@pytest.mark.no_isosan``; ``REPRO_ISOSAN=0`` disables the
+    fixture process-wide (one CI leg runs with it on explicitly).
+    """
+    if request.node.get_closest_marker("no_isosan") is not None \
+            or not isosan.enabled_by_env(default=True):
+        yield None
+        return
+    with isosan.sanitized() as san:
+        yield san
 
 
 @pytest.fixture(autouse=True)

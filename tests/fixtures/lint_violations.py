@@ -1,0 +1,61 @@
+# Seeded lint fixture: every SNIC rule must fire at least once on this
+# file.  It is parsed by the lint engine in tests, never imported or
+# executed — the code only has to be syntactically valid.
+#
+# ruff/mypy skip this file (see pyproject.toml): the violations are the
+# point.
+
+import random
+import time
+
+memory = None
+sim = None
+tracer = None
+registry = None
+
+PACKETS_SEEN = 0
+
+
+def isolation_bypass(nf_id, pages):
+    # SNIC001: ownership call + raw access outside any mediation layer.
+    memory.claim_pages(nf_id, pages)
+    return memory.read(0, 64)
+
+
+def wall_clock_latency():
+    # SNIC002: wall-clock read in simulation code.
+    start = time.time()
+    return time.time() - start
+
+
+def unseeded_jitter():
+    # SNIC002: module-level draw on the shared unseeded RNG.
+    return random.random() * 100
+
+
+def schedule_from_set(flows):
+    # SNIC002: set iteration order escapes into schedule() arguments.
+    for flow in set(flows):
+        sim.schedule(10, lambda f=flow: f.poll())
+
+
+def on_packet():
+    # SNIC003: kernel-scheduled callback mutating a module global.
+    global PACKETS_SEEN
+    PACKETS_SEEN += 1
+
+
+def arm_callback():
+    sim.schedule(100, on_packet)
+
+
+def emit_telemetry(n_bytes):
+    # SNIC004: tracer emission and registry mint with no tenant tag.
+    tracer.instant("fixture.event", track="fixture")
+    registry.counter("fixture_bytes_total", kind="rx").inc(n_bytes)
+
+
+def float_delay(latency_ns):
+    # SNIC005: provably float-valued delay reaching the kernel.
+    sim.schedule(latency_ns / 2, on_packet)
+    sim.schedule(1.5, on_packet)

@@ -1,0 +1,270 @@
+"""IsoSan regression suite: every check must catch its injected bug.
+
+The autouse conftest fixture already runs the whole suite under IsoSan;
+these tests prove the sanitizer *detects* violations, not merely that
+clean code passes.  They manage sanitizer scope explicitly where the
+test itself plays the attacker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.isosan import IsoSan, get_isosan, sanitized
+from repro.core.errors import IsolationViolation
+from repro.hw.cache import Cache, CacheConfig, HARD
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import TLB, TLBEntry, GuardedAddressSpace
+
+PAGE = 4096
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def san(isosan_enabled):
+    """The active sanitizer (installed by the autouse fixture)."""
+    assert isosan_enabled is not None and isosan_enabled.installed
+    return isosan_enabled
+
+
+# ----------------------------------------------------------------------
+# The three injected violations from the acceptance criteria
+# ----------------------------------------------------------------------
+
+class TestCrossTenantAccess:
+    def test_attributed_read_of_foreign_page_raises(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(1, range(0, 4))
+        mem.claim_pages(2, range(4, 8))
+        with san.access_context(1):
+            with pytest.raises(IsolationViolation, match="cross-tenant"):
+                mem.read(4 * PAGE, 16)
+
+    def test_attributed_write_of_foreign_page_raises(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(2, range(4, 8))
+        with san.access_context(1):
+            with pytest.raises(IsolationViolation, match="cross-tenant"):
+                mem.write(4 * PAGE, b"intrusion")
+
+    def test_own_and_free_pages_are_fine(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(1, range(0, 4))
+        with san.access_context(1):
+            mem.write(0, b"mine")
+            assert mem.read(0, 4) == b"mine"
+            mem.read(64 * PAGE, 8)  # free page: unowned, allowed
+
+    def test_unattributed_access_stays_unchecked(self, san):
+        """Raw hardware semantics survive: no context, no check (the
+        commodity attack models depend on this)."""
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(2, range(0, 4))
+        assert mem.read(0, 8) == bytes(8)
+
+    def test_core_loads_are_attributed(self, san):
+        """A core's GuardedAddressSpace access runs in its owner's
+        context: a stale TLB entry into another NF's pages is caught at
+        access time even though the translation itself succeeds."""
+        from repro.hw.cores import ProgrammableCore
+
+        mem = PhysicalMemory(1 * MB)
+        core = ProgrammableCore(core_id=0, memory=mem)
+        core.bind(1)
+        core.tlb.install(TLBEntry(vbase=0, pbase=0, size=4 * PAGE))
+        mem.claim_pages(2, range(0, 4))  # pages belong to someone else
+        with pytest.raises(IsolationViolation, match="cross-tenant"):
+            core.load(0, 8)
+
+
+class TestUnscrubbedReuse:
+    def test_reclaim_of_dirty_page_raises(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(7, [0])
+        mem.write(0, b"secret")
+        mem.release_pages(7, scrub=False)
+        with pytest.raises(IsolationViolation, match="unscrubbed"):
+            mem.claim_pages(8, [0])
+
+    def test_scrubbed_release_allows_reclaim(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(7, [0])
+        mem.write(0, b"secret")
+        mem.release_pages(7, scrub=True)
+        mem.claim_pages(8, [0])
+        assert mem.read(0, 6) == bytes(6)
+
+    def test_zeroing_clears_the_hazard(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(7, [0])
+        mem.write(0, b"secret")
+        mem.release_pages(7, scrub=False)
+        mem.zero_page(0)
+        mem.claim_pages(8, [0])
+
+    def test_same_owner_reclaim_is_fine(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(7, [0])
+        mem.write(0, b"mine")
+        mem.release_pages(7, scrub=False)
+        mem.claim_pages(7, [0])  # its own stale bytes, no leak
+
+
+class TestOverlappingTLBInstall:
+    def test_stale_mapping_over_reclaimed_pages_raises(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(1, range(0, 4))
+        stale = TLB(capacity=4, name="stale-bank")
+        GuardedAddressSpace(stale, mem)
+        stale.install(TLBEntry(vbase=0, pbase=0, size=4 * PAGE))
+
+        # NF 1 torn down but its bank never cleared; NF 3 claims the
+        # pages and maps them — two domains now share physical pages.
+        mem.release_pages(1, scrub=True)
+        mem.claim_pages(3, range(0, 4))
+        fresh = TLB(capacity=4, name="fresh-bank")
+        GuardedAddressSpace(fresh, mem)
+        with pytest.raises(IsolationViolation, match="overlapping TLB"):
+            fresh.install(TLBEntry(vbase=0, pbase=0, size=4 * PAGE))
+
+    def test_entry_spanning_two_domains_raises(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(1, range(0, 4))
+        mem.claim_pages(2, range(4, 8))
+        bank = TLB(capacity=4, name="wide-bank")
+        GuardedAddressSpace(bank, mem)
+        with pytest.raises(IsolationViolation, match="multiple"):
+            bank.install(TLBEntry(vbase=0, pbase=0, size=8 * PAGE))
+
+    def test_cleared_bank_forgets_its_owner(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(1, range(0, 4))
+        bank = TLB(capacity=4, name="recycled-bank")
+        GuardedAddressSpace(bank, mem)
+        bank.install(TLBEntry(vbase=0, pbase=0, size=4 * PAGE))
+        bank.clear()
+        mem.release_pages(1, scrub=True)
+        mem.claim_pages(2, range(0, 4))
+        bank.install(TLBEntry(vbase=0, pbase=0, size=4 * PAGE))  # fine now
+
+    def test_disjoint_mappings_are_fine(self, san):
+        mem = PhysicalMemory(1 * MB)
+        mem.claim_pages(1, range(0, 4))
+        mem.claim_pages(2, range(4, 8))
+        b1 = TLB(capacity=4, name="b1")
+        b2 = TLB(capacity=4, name="b2")
+        GuardedAddressSpace(b1, mem)
+        GuardedAddressSpace(b2, mem)
+        b1.install(TLBEntry(vbase=0, pbase=0, size=4 * PAGE))
+        b2.install(TLBEntry(vbase=0, pbase=4 * PAGE, size=4 * PAGE))
+
+
+# ----------------------------------------------------------------------
+# Partition-boundary cache fills
+# ----------------------------------------------------------------------
+
+class TestPartitionedCacheFill:
+    def test_repartition_without_flush_is_caught(self, san):
+        """Switching a warm shared cache to HARD partitioning without a
+        flush leaves one tenant over its way allocation — the next fill
+        trips the occupancy check (set_partitions flushes precisely to
+        avoid this)."""
+        # 512 B / 64 B lines / 8 ways -> a single set.
+        cache = Cache(CacheConfig(size_bytes=512, line_bytes=64, ways=8),
+                      name="buggy-l2")
+        for i in range(8):
+            cache.access(i * 64, owner=1)
+        # Inject the bug: flip modes behind set_partitions' back.
+        cache.mode = HARD
+        cache._partitions = {1: 1, 2: 1}
+        cache._way_ranges = {1: (0, 1), 2: (1, 2)}
+        with pytest.raises(IsolationViolation, match="partition"):
+            cache.access(99 * 64, owner=1)
+
+    def test_correct_partitioned_fills_pass(self, san):
+        cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, ways=4),
+                      name="good-l2")
+        cache.set_partitions({1: 2, 2: 2}, mode=HARD)
+        for i in range(32):
+            cache.access(i * 64, owner=1 + (i % 2))
+        assert cache.occupancy(1) + cache.occupancy(2) <= 16
+
+
+# ----------------------------------------------------------------------
+# Bus epoch breaches (direct unit check: the arbiter itself is correct,
+# so the breach is fed to the checker synthetically)
+# ----------------------------------------------------------------------
+
+class TestEpochCheck:
+    def test_completion_inside_live_window_passes(self, san):
+        from repro.hw.bus import TemporalPartitioningArbiter
+
+        arbiter = TemporalPartitioningArbiter(
+            domains=[1, 2], bandwidth_bytes_per_ns=1.0,
+            epoch_ns=1000.0, dead_time_ns=100.0)
+        completion = arbiter.request(1, 64, 0.0)
+        san._check_epoch(arbiter, 1, completion)  # must not raise
+
+    def test_synthetic_breach_raises(self, san):
+        from repro.hw.bus import TemporalPartitioningArbiter
+
+        arbiter = TemporalPartitioningArbiter(
+            domains=[1, 2], bandwidth_bytes_per_ns=1.0,
+            epoch_ns=1000.0, dead_time_ns=100.0)
+        # Domain 2's slot is [1000, 1900); a completion at 500 sits in
+        # domain 1's window.
+        with pytest.raises(IsolationViolation, match="epoch breach"):
+            san._check_epoch(arbiter, 2, 500.0)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle & integration
+# ----------------------------------------------------------------------
+
+@pytest.mark.no_isosan
+class TestLifecycle:
+    def test_install_uninstall_restores_methods(self):
+        before = PhysicalMemory.read
+        san = IsoSan()
+        san.install()
+        assert PhysicalMemory.read is not before
+        san.uninstall()
+        assert PhysicalMemory.read is before
+
+    def test_sanitized_is_reentrant(self):
+        outer = get_isosan()
+        with sanitized() as a:
+            with sanitized() as b:
+                assert a is b and a.installed
+            assert a.installed  # inner exit must not uninstall
+        assert not outer.installed
+
+    def test_no_isosan_marker_leaves_singleton_uninstalled(self):
+        assert not get_isosan().installed
+
+    def test_violations_are_recorded(self):
+        san = IsoSan()
+        san.install()
+        try:
+            mem = PhysicalMemory(1 * MB)
+            mem.claim_pages(1, [0])
+            with san.access_context(2):
+                with pytest.raises(IsolationViolation):
+                    mem.read(0, 4)
+            assert san.violations and "cross-tenant" in san.violations[0]
+        finally:
+            san.uninstall()
+
+
+class TestFullStackUnderIsoSan:
+    def test_launch_run_teardown_is_clean(self, san, nic_os, basic_config):
+        """The paper's own lifecycle — mediated end to end — must
+        produce zero violations under the sanitizer."""
+        vnic = nic_os.NF_create(basic_config)
+        snic = vnic._snic
+        record = snic.record(vnic.nf_id)
+        core = snic.cores[record.config.core_ids[0]]
+        core.store(0, b"through-the-tlb")
+        assert core.load(0, 15) == b"through-the-tlb"
+        nic_os.NF_destroy(vnic.nf_id)
+        assert san.violations == []

@@ -1,0 +1,264 @@
+"""The lint engine: rules fire on the seeded fixture, the repo is clean,
+suppressions and output formats behave."""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LintEngine,
+    ModuleSource,
+    call_name,
+    default_rules,
+    format_github,
+    format_json,
+    format_text,
+    main as lint_main,
+    module_name_for,
+    receiver_token,
+    run_lint,
+    source_root,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
+
+ALL_RULES = {"SNIC001", "SNIC002", "SNIC003", "SNIC004", "SNIC005"}
+
+
+def lint_source(text: str, modname: str = "scratch") -> list:
+    """Run every rule over an in-memory module (no suppressions applied
+    unless present in the text)."""
+    module = ModuleSource(path=Path(f"{modname}.py"), modname=modname,
+                         text=text, tree=ast.parse(text),
+                         lines=text.splitlines())
+    findings = []
+    for rule in default_rules():
+        for finding in rule.check(module):
+            silenced = module.suppressed_rules_at(finding.line)
+            if silenced is not None and (
+                    not silenced or finding.rule in silenced):
+                finding.suppressed = True
+            findings.append(finding)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# The acceptance criteria: fixture dirty, repo clean
+# ----------------------------------------------------------------------
+
+class TestSeededFixture:
+    def test_every_rule_fires_on_the_fixture(self):
+        engine = LintEngine()
+        findings = engine.lint_file(FIXTURE)
+        fired = {f.rule for f in findings if not f.suppressed}
+        assert fired == ALL_RULES
+
+    def test_fixture_exit_code_is_nonzero(self):
+        _findings, code = run_lint([FIXTURE])
+        assert code == 1
+
+    def test_findings_carry_hints_and_positions(self):
+        findings, _ = run_lint([FIXTURE])
+        for f in findings:
+            assert f.rule in ALL_RULES
+            assert f.line >= 1 and f.col >= 1
+            assert f.hint, f"rule {f.rule} must ship a fix-it hint"
+
+
+class TestRepoIsClean:
+    def test_src_repro_lints_clean(self):
+        findings, code = run_lint()
+        active = [f for f in findings if not f.suppressed]
+        assert code == 0, "\n".join(
+            f"{f.path}:{f.line} {f.rule} {f.message}" for f in active)
+
+    def test_repo_suppressions_are_justified(self):
+        """Every suppression in the tree carries prose beyond the tag."""
+        findings, _ = run_lint()
+        suppressed = [f for f in findings if f.suppressed]
+        assert suppressed, "expected justified suppressions in the tree"
+        for f in suppressed:
+            lines = Path(f.path).read_text().splitlines()
+            block = " ".join(lines[max(0, f.line - 4):f.line])
+            assert "snic: ignore" in block
+
+
+# ----------------------------------------------------------------------
+# Individual rules on minimal sources
+# ----------------------------------------------------------------------
+
+class TestRuleBehaviour:
+    def test_snic001_whitelisted_module_is_exempt(self):
+        text = "def f(mem):\n    mem.claim_pages(1, [0])\n"
+        findings = lint_source(text, modname="repro.hw.mmu")
+        assert not [f for f in findings if f.rule == "SNIC001"]
+        findings = lint_source(text, modname="repro.core.runtime")
+        assert [f for f in findings if f.rule == "SNIC001"]
+
+    def test_snic001_commodity_prefix_is_excluded(self):
+        text = "def f(memory):\n    memory.read(0, 8)\n"
+        findings = lint_source(text, modname="repro.commodity.attacks")
+        assert not [f for f in findings if f.rule == "SNIC001"]
+
+    def test_snic001_ignores_non_memory_receivers(self):
+        text = "def f(sock):\n    sock.read(0, 8)\n"
+        assert not [f for f in lint_source(text) if f.rule == "SNIC001"]
+
+    def test_snic002_seeded_rng_is_fine(self):
+        clean = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert not [f for f in lint_source(clean) if f.rule == "SNIC002"]
+        dirty = "import random\nx = random.random()\n"
+        assert [f for f in lint_source(dirty) if f.rule == "SNIC002"]
+
+    def test_snic002_set_iteration_into_schedule(self):
+        text = textwrap.dedent("""
+            def f(sim, items):
+                for item in set(items):
+                    sim.schedule(1, item)
+                for item in sorted(set(items)):
+                    sim.schedule(1, item)
+        """)
+        findings = [f for f in lint_source(text) if f.rule == "SNIC002"]
+        assert len(findings) == 1  # the sorted() loop is the fix
+
+    def test_snic003_callback_global_write(self):
+        text = textwrap.dedent("""
+            COUNT = 0
+            def cb():
+                global COUNT
+                COUNT += 1
+            def arm(sim):
+                sim.schedule(5, cb)
+        """)
+        assert [f for f in lint_source(text) if f.rule == "SNIC003"]
+
+    def test_snic003_unscheduled_global_write_not_flagged(self):
+        text = textwrap.dedent("""
+            COUNT = 0
+            def not_a_callback():
+                global COUNT
+                COUNT += 1
+        """)
+        assert not [f for f in lint_source(text) if f.rule == "SNIC003"]
+
+    def test_snic004_explicit_tenant_none_is_sanctioned(self):
+        dirty = "def f(tracer):\n    tracer.instant('x')\n"
+        clean = "def f(tracer):\n    tracer.instant('x', tenant=None)\n"
+        assert [f for f in lint_source(dirty) if f.rule == "SNIC004"]
+        assert not [f for f in lint_source(clean) if f.rule == "SNIC004"]
+
+    def test_snic005_float_delay(self):
+        dirty = "def f(sim, ns):\n    sim.schedule(ns / 2, f)\n"
+        clean = "def f(sim, ns):\n    sim.schedule(ns // 2, f)\n"
+        assert [f for f in lint_source(dirty) if f.rule == "SNIC005"]
+        assert not [f for f in lint_source(clean) if f.rule == "SNIC005"]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_inline_suppression(self):
+        text = ("def f(memory):\n"
+                "    memory.read(0, 8)  # snic: ignore[SNIC001] -- why\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC001"]
+        assert findings and all(f.suppressed for f in findings)
+
+    def test_comment_block_above(self):
+        text = ("def f(memory):\n"
+                "    # snic: ignore[SNIC001] -- a justification that\n"
+                "    # runs over several comment lines.\n"
+                "    memory.read(0, 8)\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC001"]
+        assert findings and all(f.suppressed for f in findings)
+
+    def test_blanket_ignore_suppresses_every_rule(self):
+        text = ("import time\n"
+                "def f(memory):\n"
+                "    memory.read(0, int(time.time()))  # snic: ignore\n")
+        findings = lint_source(text)
+        flagged = [f for f in findings if f.line == 3]
+        assert flagged and all(f.suppressed for f in flagged)
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        text = ("def f(memory):\n"
+                "    memory.read(0, 8)  # snic: ignore[SNIC005]\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC001"]
+        assert findings and not any(f.suppressed for f in findings)
+
+    def test_suppressed_findings_do_not_affect_exit_code(self):
+        findings, code = run_lint()
+        assert code == 0
+        assert any(f.suppressed for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Formats & CLI plumbing
+# ----------------------------------------------------------------------
+
+class TestOutputFormats:
+    @pytest.fixture()
+    def findings(self):
+        return LintEngine().lint_file(FIXTURE)
+
+    def test_json_format_round_trips(self, findings):
+        payload = json.loads(format_json(findings))
+        assert payload["n_active"] == len(
+            [f for f in findings if not f.suppressed])
+        assert {f["rule"] for f in payload["findings"]} == ALL_RULES
+
+    def test_github_format_emits_error_annotations(self, findings):
+        out = format_github(findings)
+        assert out.count("::error ") == len(
+            [f for f in findings if not f.suppressed])
+        assert "line=" in out and "title=SNIC001" in out
+
+    def test_github_format_escapes_newlines(self):
+        from repro.analysis.lint import Finding
+
+        f = Finding(rule="SNIC001", message="a\nb", path="x.py",
+                    line=1, col=1)
+        assert "%0A" in format_github([f]) and "\nb" not in format_github([f])
+
+    def test_text_format_counts(self, findings):
+        out = format_text(findings)
+        assert "finding(s)" in out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULES:
+            assert rule_id in out
+
+    def test_rule_selection(self):
+        findings, _ = run_lint([FIXTURE], rules=["SNIC002"])
+        assert {f.rule for f in findings} == {"SNIC002"}
+
+    def test_module_name_for(self):
+        assert module_name_for(
+            source_root() / "hw" / "cache.py") == "repro.hw.cache"
+        assert module_name_for(
+            source_root() / "hw" / "__init__.py") == "repro.hw"
+
+
+class TestAstHelpers:
+    def _call(self, text: str) -> ast.Call:
+        return ast.parse(text).body[0].value
+
+    def test_receiver_token(self):
+        assert receiver_token(
+            self._call("self.vnic._snic.memory.read(0, 1)")) == "memory"
+        assert receiver_token(self._call("host.read(0, 1)")) == "host"
+        assert receiver_token(
+            self._call("get_registry().gauge('x')")) == "get_registry"
+        assert receiver_token(self._call("read(0, 1)")) == ""
+
+    def test_call_name(self):
+        assert call_name(self._call("a.b.claim_pages(1)")) == "claim_pages"
+        assert call_name(self._call("print(1)")) == "print"

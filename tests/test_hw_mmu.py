@@ -211,3 +211,75 @@ class TestGuardedAddressSpace:
         space = GuardedAddressSpace(TLB(capacity=2), mem)
         with pytest.raises(TLBMiss):
             space.load(0, 1)
+
+
+class TestTLBEdgeCases:
+    """Edge cases around lockdown, overlap, and range translation."""
+
+    def test_overlapping_virtual_entry_rejected(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        with pytest.raises(ValueError, match="overlaps"):
+            tlb.install(TLBEntry(vbase=0, pbase=8 * MB, size=2 * MB))
+        # Partial overlap via a larger page is rejected too.
+        with pytest.raises(ValueError, match="overlaps"):
+            tlb.install(TLBEntry(vbase=0, pbase=8 * MB, size=4 * MB))
+        assert len(tlb) == 1
+
+    def test_install_after_lock_raises(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        tlb.lock()
+        with pytest.raises(TLBLockedError):
+            tlb.install(TLBEntry(vbase=2 * MB, pbase=4 * MB, size=2 * MB))
+        # The failed install must not have modified the bank.
+        assert len(tlb) == 1 and tlb.locked
+
+    def test_clear_locked_requires_force(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=2 * MB, size=2 * MB))
+        tlb.lock()
+        with pytest.raises(TLBLockedError):
+            tlb.clear()
+        assert len(tlb) == 1  # refused clear left the bank intact
+        tlb.clear(force=True)
+        assert len(tlb) == 0
+        assert not tlb.locked  # force-clear also unlocks (teardown)
+        tlb.install(TLBEntry(vbase=0, pbase=4 * MB, size=2 * MB))
+
+    def test_capacity_exhaustion(self):
+        tlb = TLB(capacity=2)
+        tlb.install(TLBEntry(vbase=0, pbase=0, size=2 * MB))
+        tlb.install(TLBEntry(vbase=2 * MB, pbase=2 * MB, size=2 * MB))
+        with pytest.raises(AccessFault, match="full"):
+            tlb.install(TLBEntry(vbase=4 * MB, pbase=4 * MB, size=2 * MB))
+
+    def test_translate_range_spanning_two_contiguous_entries(self):
+        """A range straddling two entries is legal iff the physical
+        images are contiguous (the accelerator's single-buffer rule)."""
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=8 * MB, size=2 * MB))
+        tlb.install(TLBEntry(vbase=2 * MB, pbase=10 * MB, size=2 * MB))
+        # Physically contiguous: [8M,10M) then [10M,12M).
+        start = tlb.translate_range(2 * MB - KB, 2 * KB)
+        assert start == 10 * MB - KB
+
+    def test_translate_range_discontiguous_raises(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=8 * MB, size=2 * MB))
+        tlb.install(TLBEntry(vbase=2 * MB, pbase=4 * MB, size=2 * MB))
+        with pytest.raises(AccessFault, match="not contiguous"):
+            tlb.translate_range(2 * MB - KB, 2 * KB)
+
+    def test_translate_range_single_byte(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=8 * MB, size=2 * MB))
+        assert tlb.translate_range(64, 1) == 8 * MB + 64
+
+    def test_translate_range_readonly_write_rejected(self):
+        tlb = TLB(capacity=4)
+        tlb.install(TLBEntry(vbase=0, pbase=8 * MB, size=2 * MB,
+                             writable=False))
+        assert tlb.translate_range(0, KB) == 8 * MB
+        with pytest.raises(AccessFault, match="read-only"):
+            tlb.translate_range(0, KB, write=True)
