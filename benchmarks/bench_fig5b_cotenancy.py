@@ -24,6 +24,8 @@ QUICK_COTENANCIES = (2, 4)
 
 TRACE_PATH = os.path.join(os.path.dirname(__file__),
                           "fig5b_cotenancy_trace.json")
+TIMESERIES_PATH = os.path.join(os.path.dirname(__file__),
+                               "fig5b_cotenancy_timeseries.csv")
 
 
 def compute_fig5b(cotenancies=COTENANCIES, max_sets=24):
@@ -105,9 +107,12 @@ def run(quick: bool = False) -> dict:
         for index, n in enumerate(cotenancies)
     }
     scenario = run_cotenancy_scenario(
-        out_path=TRACE_PATH, n_packets=16 if quick else 40)
+        out_path=TRACE_PATH, n_packets=16 if quick else 40,
+        timeseries_path=TIMESERIES_PATH)
     print(f"\nwrote {scenario['trace_path']} ({scenario['spans']} spans, "
           f"tenants {scenario['tenants']})")
+    print(f"wrote {scenario['timeseries_path']} "
+          f"({scenario['timeseries_samples']} kernel-driven samples)")
     return {
         "cotenancies": list(cotenancies),
         "mean_of_medians_pct": {
@@ -116,6 +121,7 @@ def run(quick: bool = False) -> dict:
         "worst_p99_pct": {n: s["worst_p99_pct"] for n, s in summaries.items()},
         "trace_spans": scenario["spans"],
         "trace_tenants": scenario["tenants"],
+        "timeseries_samples": scenario["timeseries_samples"],
     }
 
 

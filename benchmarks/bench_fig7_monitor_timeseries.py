@@ -4,14 +4,22 @@ Paper: preallocation must cover the 360.54 MB peak (hugepage-init and
 HashMap-resize spikes) while steady-state use is 246.31 MB.
 """
 
+import os
+
 from _common import bench_main, print_table
 
 from repro.cost.profiles import MonitorMemoryModel
+from repro.obs.timeseries import merge_series_csv
+
+CSV_PATH = os.path.join(os.path.dirname(__file__), "fig7_monitor_memory.csv")
 
 
 def compute_fig7(step_s=0.5):
+    """The memory curve as a ``repro.obs.timeseries.Series`` plus the
+    calibration summary (the ad-hoc stepping loop this bench used to
+    carry now lives behind ``MonitorMemoryModel.sample``)."""
     model = MonitorMemoryModel()
-    return model.series(step_s=step_s), model.summary()
+    return model.sample(step_s=step_s), model.summary()
 
 
 def test_fig7(benchmark):
@@ -19,7 +27,7 @@ def test_fig7(benchmark):
     # Render a coarse sparkline-style table (every 10 s).
     rows = [
         (f"{t:.0f}s", f"{m:.1f}")
-        for t, m in series
+        for t, m in series.points()
         if abs(t - round(t / 10) * 10) < 0.25
     ]
     print_table("Figure 7 — Monitor memory usage (MB)", ["time", "MB"], rows)
@@ -39,9 +47,12 @@ def run(quick: bool = False) -> dict:
     print_table(
         "Figure 7 — Monitor memory usage (MB)",
         ["time", "MB"],
-        [(f"{t:.0f}s", f"{m:.1f}") for t, m in series
+        [(f"{t:.0f}s", f"{m:.1f}") for t, m in series.points()
          if abs(t - round(t / 30) * 30) < 0.25],
     )
+    with open(CSV_PATH, "w", encoding="utf-8") as fh:
+        fh.write(merge_series_csv([series], time_label="time_s"))
+    print(f"wrote {CSV_PATH} ({len(series)} samples)")
     return {
         "prealloc_min_mb": summary["prealloc_min_mb"],
         "steady_mb": summary["steady_mb"],

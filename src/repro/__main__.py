@@ -14,6 +14,11 @@ Commands:
   ``--compare A B`` to diff two artifacts and flag regressions,
   ``--sanitize`` to run every scenario under the IsoSan runtime
   sanitizer)
+* ``audit``   — the isolation scorecard: solo-vs-co-tenant differential
+  on every shared hardware resource under the commodity and S-NIC
+  configurations, with per-resource interference matrices, side-channel
+  capacity estimates, and a pass/fail noninterference verdict
+  (``--quick`` for the CI gate, ``--format text|json|markdown``)
 * ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC005) over
   the source tree (``--format text|json|github``)
 * ``sanitize`` — determinism checker: run the co-tenancy demo twice
@@ -33,9 +38,11 @@ def _info() -> None:
     print("subpackages:", ", ".join(repro.__all__))
     print()
     print("commands: python -m repro "
-          "[info|report|attacks|trace|bench|lint|sanitize]")
+          "[info|report|attacks|trace|bench|audit|lint|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
+    print("audit:    python -m repro audit [--quick] "
+          "[--format text|json|markdown] [--out PATH]")
     print("analysis: python -m repro lint [--format github]; "
           "python -m repro sanitize")
 
@@ -175,6 +182,10 @@ def main(argv: list) -> int:
         return _trace(argv[2:])
     elif command == "bench":
         return _bench(argv[2:])
+    elif command == "audit":
+        from repro.obs.audit import main as audit_main
+
+        return audit_main(argv[2:])
     elif command == "lint":
         from repro.analysis.lint import main as lint_main
 

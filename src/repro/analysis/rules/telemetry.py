@@ -13,6 +13,13 @@ every registry instrument mint (``counter``/``gauge``/``histogram``).
 events — the point is that untagged emission must be a decision, not an
 omission.  Receivers are matched by name (``*tracer*``, ``*registry*``),
 the same approximation SNIC001 uses.
+
+Interference-attribution metrics (name literal starting with
+``interference_``, the :mod:`repro.obs.interference` families) are held
+to a stricter contract: a wait means nothing without *both* sides of the
+edge, so the mint must carry ``tenant=`` (the victim) **and**
+``culprit=``.  A victim-only interference counter is exactly the
+half-attributed telemetry this PR class exists to prevent.
 """
 
 from __future__ import annotations
@@ -46,7 +53,8 @@ class UntaggedTelemetryRule(Rule):
                  "belongs to a security domain; untagged telemetry "
                  "makes cross-tenant interference unattributable")
     hint = ("pass tenant=<nf_id> (or an explicit tenant=None for "
-            "infrastructure events) on the emission call")
+            "infrastructure events) on the emission call; interference_* "
+            "metrics additionally need culprit=<nf_id>")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         if module.modname.startswith(EXCLUDED_MODULES):
@@ -63,8 +71,28 @@ class UntaggedTelemetryRule(Rule):
                         f"tracer.{method}() without an explicit tenant= "
                         f"tag")
             elif method in _REGISTRY_METHODS and "registry" in receiver:
-                if not has_keyword(node, "tenant"):
+                metric_name = _metric_name_literal(node)
+                if metric_name is not None \
+                        and metric_name.startswith("interference_"):
+                    missing = [label for label in ("tenant", "culprit")
+                               if not has_keyword(node, label)]
+                    if missing:
+                        yield self.finding(
+                            module, node,
+                            f"registry.{method}() mints interference-"
+                            f"attribution metric {metric_name!r} without "
+                            + " and ".join(f"{label}=" for label in missing)
+                            + " (both victim and culprit are required)")
+                elif not has_keyword(node, "tenant"):
                     yield self.finding(
                         module, node,
                         f"registry.{method}() mints an instrument with "
                         f"no tenant label")
+
+
+def _metric_name_literal(node: ast.Call) -> "str | None":
+    """The metric-name string when it is a literal first argument."""
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None

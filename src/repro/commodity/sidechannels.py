@@ -21,12 +21,32 @@ channel works; ≈0.5 means the receiver sees noise.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import List
 
 from repro.hw.bus import FCFSArbiter, TemporalPartitioningArbiter
 from repro.hw.cache import Cache, CacheConfig, HARD, SOFT
+
+
+def channel_capacity(accuracy: float) -> float:
+    """Shannon capacity (bits/symbol) of a channel with this accuracy.
+
+    Models the decoded stream as a binary symmetric channel with error
+    probability ``p = 1 - accuracy``: ``C = 1 - H(p)`` where ``H`` is
+    the binary entropy.  An anti-correlated decoder (accuracy < 0.5)
+    still carries information — the receiver just inverts bits — so the
+    effective error rate is ``min(p, 1 - p)``.  Accuracy 1.0 → 1 bit
+    per symbol; accuracy 0.5 → 0 (pure noise, the channel is closed).
+    """
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError("accuracy must be within [0, 1]")
+    p = min(1.0 - accuracy, accuracy)
+    if p <= 0.0:
+        return 1.0
+    entropy = -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+    return 1.0 - entropy
 
 
 @dataclass(frozen=True)
@@ -44,6 +64,11 @@ class ChannelResult:
     @property
     def channel_closed(self) -> bool:
         return self.accuracy < 0.65  # indistinguishable from coin flips
+
+    @property
+    def capacity_bits_per_symbol(self) -> float:
+        """Estimated leak rate; see :func:`channel_capacity`."""
+        return channel_capacity(self.accuracy)
 
 
 def _random_bits(n: int, seed: int) -> List[int]:

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.timeseries import Series
 
 from repro.cost.pages import (
     EQUAL_MENU,
@@ -218,28 +221,44 @@ class MonitorMemoryModel:
             t += step
         return times
 
-    def series(self, step_s: float = 0.5) -> List[Tuple[float, float]]:
-        """(time_s, memory_mb) samples, spikes included."""
+    def memory_mb_at(self, t: float,
+                     _resizes: Optional[List[float]] = None) -> float:
+        """Instantaneous memory footprint at time ``t``, spikes included.
+
+        ``_resizes`` lets grid samplers pass the (expensively bisected)
+        resize instants once instead of per point.
+        """
+        resizes = _resizes if _resizes is not None else self.resize_times()
+        usage = self.static_mb
+        if t >= self.hugepage_init_at_s:
+            usage += self.dpdk_mb
+        # Hugepage-init transient: temporary normal block + hugepages.
+        if self.hugepage_init_at_s <= t < self.hugepage_init_at_s + 1.0:
+            usage += self.dpdk_mb
+        table = self.table_mb_at(t)
+        usage += table
+        # Resize transient: old (table/2) + new (table) coexist.
+        for rt in resizes:
+            if rt <= t < rt + 0.5:
+                usage += table / 2.0
+                break
+        return usage
+
+    def sample(self, step_s: float = 0.5) -> "Series":
+        """The memory curve as a :class:`repro.obs.timeseries.Series`
+        (the shape every other sampled experiment exports through)."""
+        from repro.obs.timeseries import sample_function
+
         resizes = self.resize_times()
-        samples: List[Tuple[float, float]] = []
-        t = 0.0
-        while t <= self.duration_s:
-            usage = self.static_mb
-            if t >= self.hugepage_init_at_s:
-                usage += self.dpdk_mb
-            # Hugepage-init transient: temporary normal block + hugepages.
-            if self.hugepage_init_at_s <= t < self.hugepage_init_at_s + 1.0:
-                usage += self.dpdk_mb
-            table = self.table_mb_at(t)
-            usage += table
-            # Resize transient: old (table/2) + new (table) coexist.
-            for rt in resizes:
-                if rt <= t < rt + 0.5:
-                    usage += table / 2.0
-                    break
-            samples.append((t, usage))
-            t += step_s
-        return samples
+        return sample_function(
+            lambda t: self.memory_mb_at(t, _resizes=resizes),
+            start=0.0, stop=self.duration_s, step=step_s,
+            name="monitor_memory_mb")
+
+    def series(self, step_s: float = 0.5) -> List[Tuple[float, float]]:
+        """(time_s, memory_mb) samples; historical list-of-pairs view
+        over :meth:`sample`."""
+        return self.sample(step_s=step_s).points()
 
     def summary(self) -> Dict[str, float]:
         samples = self.series()

@@ -27,6 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs.interference import (
+    RESOURCE_BUS,
+    FCFSWaitAttributor,
+    get_accountant,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_registry, \
     instance_label
 from repro.obs.tracer import get_tracer
@@ -66,6 +71,7 @@ class FCFSArbiter:
         bandwidth_bytes_per_ns: float = 12.8,
         watchdog_timeout_ns: Optional[float] = None,
         per_request_overhead_ns: float = 0.0,
+        resource: str = RESOURCE_BUS,
     ) -> None:
         if bandwidth_bytes_per_ns <= 0:
             raise ValueError("bandwidth must be positive")
@@ -75,10 +81,15 @@ class FCFSArbiter:
         #: lets tiny requests (semaphore decrements) saturate the bus.
         self.per_request_overhead_ns = per_request_overhead_ns
         self._busy_until = 0.0
+        #: Wait-for attribution: the FCFS queue is the archetypal
+        #: cross-tenant interference source, so every queueing delay is
+        #: blamed on the clients whose in-flight transfers caused it.
+        self._attribution = FCFSWaitAttributor(resource)
 
     def request(self, client: int, n_bytes: int, now_ns: float) -> float:
         start = max(now_ns, self._busy_until)
         queue_delay = start - now_ns
+        self._attribution.attribute(client, now_ns, start)
         if (
             self.watchdog_timeout_ns is not None
             and queue_delay > self.watchdog_timeout_ns
@@ -89,6 +100,7 @@ class FCFSArbiter:
             )
         completion = start + self.per_request_overhead_ns + n_bytes / self.bandwidth
         self._busy_until = completion
+        self._attribution.occupy(client, start, completion)
         return completion
 
     @property
@@ -97,6 +109,7 @@ class FCFSArbiter:
 
     def reset(self) -> None:
         self._busy_until = 0.0
+        self._attribution.reset()
 
 
 class TemporalPartitioningArbiter:
@@ -132,6 +145,7 @@ class TemporalPartitioningArbiter:
         self.dead_time_ns = dead_time_ns
         self.live_ns = epoch_ns - dead_time_ns
         self._cursor: Dict[int, float] = {d: 0.0 for d in domains}
+        self._accountant = get_accountant()
 
     @property
     def n_domains(self) -> int:
@@ -182,6 +196,16 @@ class TemporalPartitioningArbiter:
             if remaining <= capacity:
                 t += remaining / self.bandwidth
                 self._cursor[client] = t
+                # Everything beyond pure wire time is epoch-gap/dead-time
+                # overhead plus queueing behind the domain's *own*
+                # backlog: structurally self-inflicted, so the blame
+                # stays on the requesting domain.  Cross-tenant
+                # attribution under temporal partitioning is exactly
+                # zero — the property `repro audit` gates on.
+                wait = (t - now_ns) - float(n_bytes) / self.bandwidth
+                if wait > 1e-9:
+                    self._accountant.blame(RESOURCE_BUS, victim=client,
+                                           culprit=client, wait_ns=wait)
                 return t
             remaining -= capacity
             t = live_end  # spill into the next owned epoch

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.hw.memory import AccessFault
+from repro.obs.interference import RESOURCE_CACHE, get_accountant
 from repro.obs.metrics import Counter, MetricsRegistry, get_registry, instance_label
 from repro.obs.tracer import get_tracer
 
@@ -37,7 +38,14 @@ _MODES = (SHARED, HARD, SOFT)
 _TRACER = get_tracer()
 
 #: Nominal fill latency used to give traced misses a visible duration.
+#: Doubles as the per-conflict-miss cost blamed on a cross-tenant
+#: evictor by the interference accountant.
 _MISS_FILL_NS = 60.0
+
+#: Upper bound on remembered cross-tenant evictions per cache (FIFO
+#: forgetting beyond this); keeps a streaming aggressor from growing
+#: the attribution map without bound.
+_EVICTION_MEMORY_CAP = 65536
 
 
 @dataclass(frozen=True)
@@ -125,6 +133,11 @@ class Cache:
         self._obs_label = instance_label(name)
         self.stats: Dict[int, CacheStats] = {}
         self._evictions: Dict[int, Counter] = {}
+        self._accountant = get_accountant()
+        #: Cross-tenant eviction memory: (set, tag, victim) -> culprit.
+        #: A later miss by the victim on that line is a *conflict miss*
+        #: the culprit caused; its refill latency is blamed on them.
+        self._evicted_by: Dict[Tuple[int, int, int], int] = {}
 
     def _stats_for(self, owner: int) -> CacheStats:
         stats = CacheStats(
@@ -212,7 +225,19 @@ class Cache:
             return True
 
         stats._misses.value += 1.0
-        self._fill(lines, tag, owner)
+        culprit = self._evicted_by.pop((set_index, tag, owner), None)
+        if culprit is not None:
+            # Conflict miss: this exact line was resident until another
+            # tenant's fill displaced it — the refill is their fault.
+            self._accountant.blame(RESOURCE_CACHE, victim=owner,
+                                   culprit=culprit, wait_ns=_MISS_FILL_NS)
+        evicted = self._fill(lines, tag, owner)
+        if evicted is not None:
+            victim_tag, victim_owner = evicted
+            if victim_owner != owner:
+                if len(self._evicted_by) >= _EVICTION_MEMORY_CAP:
+                    self._evicted_by.pop(next(iter(self._evicted_by)))
+                self._evicted_by[(set_index, victim_tag, victim_owner)] = owner
         tracer = _TRACER
         if tracer.enabled:
             tracer.complete(
@@ -233,22 +258,32 @@ class Cache:
             return line
         return None
 
-    def _fill(self, lines: List[_Line], tag: int, owner: int) -> None:
+    def _fill(self, lines: List[_Line], tag: int,
+              owner: int) -> Optional[Tuple[int, int]]:
+        """Install the line, evicting if needed.
+
+        Returns the evicted ``(tag, owner)`` pair (or ``None``) so the
+        access path can attribute cross-tenant conflict misses.
+        """
         capacity = self.ways_for(owner) if self.mode != SHARED else self.config.ways
+        evicted: Optional[Tuple[int, int]] = None
         if self.mode == SHARED:
             if len(lines) >= capacity:
                 victim = min(lines, key=lambda line: line.stamp)
                 lines.remove(victim)
                 self._count_eviction(victim.owner)
+                evicted = (victim.tag, victim.owner)
             lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
-            return
+            return evicted
         # Partitioned fill: victimize only within the owner's ways.
         own = [line for line in lines if line.owner == owner]
         if len(own) >= capacity:
             victim = min(own, key=lambda line: line.stamp)
             lines.remove(victim)
             self._count_eviction(victim.owner)
+            evicted = (victim.tag, victim.owner)
         lines.append(_Line(tag=tag, owner=owner, stamp=self._clock))
+        return evicted
 
     def _count_eviction(self, victim_owner: int) -> None:
         counter = self._evictions.get(victim_owner)
@@ -282,6 +317,11 @@ class Cache:
             keep = [line for line in lines if line.owner != owner]
             evicted += len(lines) - len(keep)
             lines[:] = keep
+        # A scrub is a legitimate (infrastructure) eviction: pending
+        # cross-tenant blame for the departing owner's lines is void.
+        self._evicted_by = {key: culprit
+                            for key, culprit in self._evicted_by.items()
+                            if key[2] != owner}
         if _TRACER.enabled:
             _TRACER.instant("cache.scrub", tenant=owner, track=self.name,
                             cat="cache", lines=evicted)
@@ -290,6 +330,7 @@ class Cache:
     def flush_all(self) -> None:
         for lines in self._sets:
             lines.clear()
+        self._evicted_by.clear()
 
     def reset_stats(self) -> None:
         """Zero this cache's registry counters and forget owner views."""

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.hw.memory import AccessFault, PhysicalMemory
 from repro.hw.mmu import GuardedAddressSpace, TLB
+from repro.obs.interference import RESOURCE_CORES, get_accountant
 from repro.obs.metrics import get_registry, instance_label
 from repro.obs.tracer import get_tracer
 
@@ -110,10 +111,22 @@ class ProgrammableCore:
     def retire(self, n_instructions: int) -> None:
         self._instructions.value += n_instructions
 
-    def record_stalls(self, n_cycles: float) -> None:
+    def record_stalls(self, n_cycles: float,
+                      culprit: Optional[int] = None) -> None:
         """Account memory-stall cycles attributed to this core (used by
-        the trace-driven IPC experiments)."""
+        the trace-driven IPC experiments).
+
+        When the caller knows *why* the core stalled — e.g. the stall
+        is the refill latency of a cache conflict miss another tenant
+        caused — it passes the responsible security domain as
+        ``culprit`` and the stall time (cycles × cycle time) lands in
+        the interference matrix under resource ``cores``.
+        """
         self._stalls.value += n_cycles
+        if culprit is not None and self.owner is not None:
+            get_accountant().blame(
+                RESOURCE_CORES, victim=self.owner, culprit=culprit,
+                wait_ns=n_cycles * self.timing.cycle_ns)
         if _TRACER.enabled:
             _TRACER.instant("core.stall", tenant=self.owner,
                             track=f"core{self.core_id}", cat="core",

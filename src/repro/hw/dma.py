@@ -17,11 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.hw.bus import FCFSArbiter
 from repro.hw.memory import AccessFault, HostMemory, PhysicalMemory
 from repro.obs.metrics import Counter, get_registry, instance_label
 from repro.obs.tracer import get_tracer
 
 _TRACER = get_tracer()
+
+#: Nominal DMA engine bandwidth (PCIe-ish, bytes/ns).
+DMA_ENGINE_BANDWIDTH = 8.0
 
 
 @dataclass(frozen=True)
@@ -46,7 +50,8 @@ class DMABank:
     contiguous region.
     """
 
-    def __init__(self, bank_id: int) -> None:
+    def __init__(self, bank_id: int,
+                 engine: Optional[FCFSArbiter] = None) -> None:
         self.bank_id = bank_id
         self.owner: Optional[int] = None
         self.nic_window: Optional[DMAWindow] = None
@@ -55,6 +60,14 @@ class DMABank:
         self._obs_label = instance_label(f"dma{bank_id}")
         self._bytes: Optional[Counter] = None
         self._rejects: Optional[Counter] = None
+        #: The engine serving this bank's transfers.  S-NIC gives every
+        #: bank its own engine (per-core, §4.2) so a bank's service time
+        #: depends only on its own stream; a commodity controller hands
+        #: all banks ONE shared engine, and the FCFS queueing behind
+        #: other banks is cross-tenant interference the arbiter blames
+        #: via the accountant (resource ``dma``).
+        self.engine = engine if engine is not None else FCFSArbiter(
+            bandwidth_bytes_per_ns=DMA_ENGINE_BANDWIDTH, resource="dma")
 
     @property
     def bytes_moved(self) -> int:
@@ -125,6 +138,17 @@ class DMABank:
                             track=f"dma-bank{self.bank_id}", cat="dma",
                             bytes=n_bytes)
 
+    def _schedule(self, n_bytes: int, now_ns: Optional[float]) -> Optional[float]:
+        """Run the transfer through the bank's engine (when timed).
+
+        Returns the completion time, or ``None`` for the untimed
+        historical call pattern (window checks and the copy still
+        happen; only the queueing model is skipped).
+        """
+        if now_ns is None or self.owner is None:
+            return None
+        return self.engine.request(self.owner, n_bytes, now_ns)
+
     def to_nic(
         self,
         host_mem: HostMemory,
@@ -132,12 +156,20 @@ class DMABank:
         host_addr: int,
         nic_addr: int,
         n_bytes: int,
-    ) -> None:
-        """Downstream transfer: host → NIC, both windows enforced."""
+        now_ns: Optional[float] = None,
+    ) -> Optional[float]:
+        """Downstream transfer: host → NIC, both windows enforced.
+
+        With ``now_ns`` the transfer is also scheduled on the bank's
+        DMA engine and the completion time is returned (queueing behind
+        other banks on a shared commodity engine is attributed by the
+        interference accountant).
+        """
         self._check(nic_addr, host_addr, n_bytes)
         nic_mem.write(nic_addr, host_mem.read(host_addr, n_bytes))
         self._bytes.value += n_bytes
         self._trace_transfer("to_nic", n_bytes)
+        return self._schedule(n_bytes, now_ns)
 
     def to_host(
         self,
@@ -146,21 +178,38 @@ class DMABank:
         nic_addr: int,
         host_addr: int,
         n_bytes: int,
-    ) -> None:
-        """Upstream transfer: NIC → host, both windows enforced."""
+        now_ns: Optional[float] = None,
+    ) -> Optional[float]:
+        """Upstream transfer: NIC → host, both windows enforced.
+
+        See :meth:`to_nic` for the ``now_ns`` timing semantics.
+        """
         self._check(nic_addr, host_addr, n_bytes)
         host_mem.write(host_addr, nic_mem.read(nic_addr, n_bytes))
         self._bytes.value += n_bytes
         self._trace_transfer("to_host", n_bytes)
+        return self._schedule(n_bytes, now_ns)
 
 
 class DMAController:
-    """The multi-bank controller: one bank per programmable core."""
+    """The multi-bank controller: one bank per programmable core.
 
-    def __init__(self, n_banks: int) -> None:
+    ``shared_engine=True`` models the commodity design: every bank's
+    transfers funnel through ONE engine, so co-tenant DMA queueing is
+    observable (and attributed).  The default — one engine per bank —
+    is S-NIC's isolation-by-construction (§4.2).
+    """
+
+    def __init__(self, n_banks: int, shared_engine: bool = False,
+                 engine_bandwidth: float = DMA_ENGINE_BANDWIDTH) -> None:
         if n_banks <= 0:
             raise ValueError("need at least one DMA bank")
-        self.banks: List[DMABank] = [DMABank(i) for i in range(n_banks)]
+        self.shared_engine = shared_engine
+        engine = FCFSArbiter(bandwidth_bytes_per_ns=engine_bandwidth,
+                             resource="dma") if shared_engine else None
+        self.banks: List[DMABank] = [
+            DMABank(i, engine=engine) for i in range(n_banks)
+        ]
 
     def bank_for_core(self, core_id: int) -> DMABank:
         if not 0 <= core_id < len(self.banks):

@@ -1,14 +1,26 @@
-"""DRAM timing model.
+"""DRAM timing model and the contended DRAM channel.
 
 The gem5 configuration in §5.3 uses "16 GB of 1,600 MHz DDR3 RAM"; we
 model DRAM as a fixed access latency plus a bandwidth-limited transfer
 time.  The IO bus (:mod:`repro.hw.bus`) sits in front of this model and is
 where arbitration (and the arbitration side channel) happens.
+
+:class:`DRAMChannel` adds the contention picture the interference
+accountant needs: in *shared* mode (commodity) all tenants queue FCFS
+on one channel and a victim's queueing delay is blamed on the tenants
+whose transfers it waited behind; in *partitioned* mode (S-NIC, the
+§4.3 "frontend reserves DRAM bandwidth" discipline) each tenant has an
+independent service cursor over its bandwidth share, so cross-tenant
+attributed wait is exactly zero by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.hw.bus import FCFSArbiter
 
 
 @dataclass(frozen=True)
@@ -31,3 +43,76 @@ class DRAMModel:
     def line_fill_ns(self, line_bytes: int = 64) -> float:
         """Latency of one cache-line fill."""
         return self.transfer_ns(line_bytes)
+
+
+class DRAMChannel:
+    """A DRAM channel with per-tenant wait-for attribution.
+
+    ``access`` returns the completion time of the transfer; the
+    difference to ``now_ns`` is the latency a memory-bound tenant
+    observes (and a side-channel probe measures).
+
+    * shared (default): one FCFS queue — co-tenant transfers delay the
+      victim, and each delayed nanosecond is blamed on the tenant whose
+      in-flight transfer caused it (``interference_wait_ns_total``,
+      resource ``dram``).
+    * partitioned (``partition([t1, t2, ...])``): every tenant gets an
+      independent cursor at ``bandwidth / n_tenants`` — its completion
+      times are a pure function of its own request stream, so the only
+      attribution entries are self-waits.
+    """
+
+    def __init__(self, model: Optional[DRAMModel] = None) -> None:
+        self.model = model or DRAMModel()
+        self._shared: Optional["FCFSArbiter"] = self._make_arbiter(
+            self.model.bandwidth_bytes_per_ns)
+        self._per_tenant: Dict[int, "FCFSArbiter"] = {}
+        self.tenants: List[int] = []
+
+    def _make_arbiter(self, bandwidth: float) -> "FCFSArbiter":
+        # Imported lazily: keeps `import repro.hw.dram` free of the
+        # bus/obs dependency for users that only want the timing model.
+        from repro.hw.bus import FCFSArbiter
+
+        return FCFSArbiter(
+            bandwidth_bytes_per_ns=bandwidth,
+            per_request_overhead_ns=self.model.access_latency_ns,
+            resource="dram",
+        )
+
+    @property
+    def partitioned(self) -> bool:
+        return self._shared is None
+
+    def partition(self, tenants: List[int]) -> None:
+        """Switch to per-tenant bandwidth reservations (S-NIC mode)."""
+        if not tenants:
+            raise ValueError("need at least one tenant to partition for")
+        if len(set(tenants)) != len(tenants):
+            raise ValueError("duplicate tenant ids")
+        share = self.model.bandwidth_bytes_per_ns / len(tenants)
+        self.tenants = list(tenants)
+        self._per_tenant = {t: self._make_arbiter(share) for t in tenants}
+        self._shared = None
+
+    def share(self) -> None:
+        """Return to the fully shared FCFS channel (commodity mode)."""
+        self._shared = self._make_arbiter(self.model.bandwidth_bytes_per_ns)
+        self._per_tenant = {}
+        self.tenants = []
+
+    def access(self, tenant: int, n_bytes: int, now_ns: float) -> float:
+        """Serve ``n_bytes`` for ``tenant``; returns the completion time."""
+        if self._shared is not None:
+            return self._shared.request(tenant, n_bytes, now_ns)
+        arbiter = self._per_tenant.get(tenant)
+        if arbiter is None:
+            raise KeyError(f"tenant {tenant} has no DRAM bandwidth "
+                           f"reservation on this channel")
+        return arbiter.request(tenant, n_bytes, now_ns)
+
+    def reset(self) -> None:
+        if self._shared is not None:
+            self._shared.reset()
+        for arbiter in self._per_tenant.values():
+            arbiter.reset()

@@ -24,6 +24,17 @@ hot layer:
   scenario under a fresh registry and writes a schema-versioned
   ``BENCH_<timestamp>.json`` with wall-time, sim-time, and event-count
   telemetry, plus artifact diffing with regression flags.
+* :mod:`repro.obs.interference` — per-tenant contention attribution:
+  every shared hardware resource blames each nanosecond a victim
+  waited on the co-tenant that caused it
+  (``interference_wait_ns_total{resource, tenant, culprit}``), and
+  :func:`blame_matrix` reconstructs who-made-whom-wait matrices.
+* :mod:`repro.obs.timeseries` — a kernel-driven periodic sampler:
+  ring-buffered, deterministic metric-over-sim-time series with
+  CSV/JSON export, replacing ad-hoc per-benchmark sampling loops.
+* :mod:`repro.obs.audit` — ``python -m repro audit``: the
+  solo-vs-co-tenant isolation scorecard (interference matrices,
+  slowdown deltas, side-channel capacities, noninterference verdict).
 
 Quickstart::
 
@@ -40,6 +51,14 @@ or run the packaged co-tenancy demo end to end::
 """
 
 from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.interference import (
+    InterferenceAccountant,
+    blame_matrix,
+    cross_tenant_events,
+    cross_tenant_wait_ns,
+    format_matrix,
+    get_accountant,
+)
 from repro.obs.export import (
     format_metrics_table,
     metrics_rows,
@@ -57,6 +76,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.metrics import reset as reset_metrics
 from repro.obs.profile import Profiler, profile_cotenancy_scenario
+from repro.obs.timeseries import Series, TimeSeriesSampler, sample_function
 from repro.obs.tracer import (
     NOOP_SPAN,
     TraceEvent,
@@ -70,14 +90,22 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "InterferenceAccountant",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Profiler",
+    "Series",
+    "TimeSeriesSampler",
     "TraceEvent",
     "Tracer",
+    "blame_matrix",
+    "cross_tenant_events",
+    "cross_tenant_wait_ns",
     "disable_tracing",
     "enable_tracing",
+    "format_matrix",
     "format_metrics_table",
+    "get_accountant",
     "get_registry",
     "get_tracer",
     "instance_label",
@@ -85,6 +113,7 @@ __all__ = [
     "metrics_to_csv",
     "profile_cotenancy_scenario",
     "reset_metrics",
+    "sample_function",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_metrics_csv",

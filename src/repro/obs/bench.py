@@ -100,6 +100,10 @@ class BenchRecord:
     events_executed: int = 0
     trace_events: int = 0
     metrics_instruments: int = 0
+    #: ``{metric{labels}: {count,p50,p95,p99}}`` for every histogram the
+    #: scenario left in its registry — tail latency lands in the
+    #: artifact without each bench script exporting it by hand.
+    histograms: Optional[Dict[str, Dict[str, float]]] = None
     outputs: Optional[Dict[str, object]] = None
     error: Optional[str] = None
 
@@ -112,6 +116,7 @@ class BenchRecord:
             "events_executed": self.events_executed,
             "trace_events": self.trace_events,
             "metrics_instruments": self.metrics_instruments,
+            "histograms": self.histograms,
             "outputs": self.outputs,
             "error": self.error,
         }
@@ -164,8 +169,31 @@ def run_scenario(path: Path, quick: bool = False,
         record.events_executed = stats["events_executed"]
         record.trace_events = len(tracer.get_tracer().events)
         record.metrics_instruments = len(metrics.get_registry())
+        record.histograms = _histogram_percentiles(metrics.get_registry())
         _isolate()
     return record
+
+
+def _histogram_percentiles(registry) -> Optional[Dict[str, Dict[str, float]]]:
+    """Tail-latency summary of every populated histogram in ``registry``."""
+    from repro.obs.export import _format_labels
+    from repro.obs.metrics import Histogram
+
+    out: Dict[str, Dict[str, float]] = {}
+    for instrument in registry.instruments():
+        if not isinstance(instrument, Histogram) or not instrument.count:
+            continue
+        key = instrument.name
+        labels = _format_labels(dict(instrument.labels))
+        if labels:
+            key = f"{key}{{{labels}}}"
+        out[key] = {
+            "count": float(instrument.count),
+            "p50": instrument.p50,
+            "p95": instrument.p95,
+            "p99": instrument.p99,
+        }
+    return dict(sorted(out.items())) or None
 
 
 def run_benchmarks(

@@ -17,7 +17,7 @@ from repro.obs.metrics import MetricsRegistry
 #: Column order for flat exports; histogram-only columns stay empty for
 #: counters and gauges.
 _COLUMNS = ("name", "type", "labels", "value", "count", "sum", "mean",
-            "min", "max", "p50", "p99")
+            "min", "max", "p50", "p95", "p99")
 
 
 def _format_labels(labels: Dict[str, object]) -> str:
@@ -64,19 +64,21 @@ def format_metrics_table(registry: MetricsRegistry,
         rows = [r for r in rows if name_filter in str(r["name"])]
     if not rows:
         return f"=== {title} ===\n(no metrics recorded)"
-    headers = ["metric", "labels", "value / count", "mean", "p50", "p99"]
+    headers = ["metric", "labels", "value / count", "mean", "p50", "p95", "p99"]
     table: List[List[str]] = []
     for row in rows:
         if row["type"] == "histogram":
             value = f"n={row['count']}"
             mean = f"{float(row['mean']):.1f}"
             p50 = f"{float(row['p50']):.1f}"
+            p95 = f"{float(row['p95']):.1f}"
             p99 = f"{float(row['p99']):.1f}"
         else:
             number = float(row["value"])
             value = f"{number:.0f}" if number == int(number) else f"{number:.3f}"
-            mean = p50 = p99 = ""
-        table.append([str(row["name"]), str(row["labels"]), value, mean, p50, p99])
+            mean = p50 = p95 = p99 = ""
+        table.append([str(row["name"]), str(row["labels"]), value, mean, p50,
+                      p95, p99])
     widths = [max(len(headers[i]), *(len(r[i]) for r in table))
               for i in range(len(headers))]
     lines = [f"=== {title} ==="]

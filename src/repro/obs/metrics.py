@@ -160,6 +160,21 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @property
+    def p50(self) -> float:
+        """Median estimate; see :meth:`percentile`."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile estimate; see :meth:`percentile`."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """Tail-latency estimate; see :meth:`percentile`."""
+        return self.percentile(99)
+
     def percentile(self, q: float) -> float:
         """Estimated ``q``-th percentile (0–100), bucket-interpolated."""
         if not self.count:
@@ -196,6 +211,7 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "p50": self.percentile(50),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
 

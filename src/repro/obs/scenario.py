@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.obs import chrome_trace, export, metrics, tracer as tracer_mod
+from repro.obs.timeseries import TimeSeriesSampler
 
 MB = 1024 * 1024
 
@@ -76,6 +77,7 @@ def run_cotenancy_scenario(
     n_packets: int = 60,
     metrics_path: Optional[str] = None,
     profiler=None,
+    timeseries_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the two-tenant demo and write a Perfetto-loadable trace.
 
@@ -84,6 +86,12 @@ def run_cotenancy_scenario(
     :class:`repro.obs.profile.Profiler` additionally hooks the
     event-driven phase's kernel, so host wall-time per executed event is
     attributed alongside the simulated-time span profile.
+
+    The event-driven phase also carries a
+    :class:`repro.obs.timeseries.TimeSeriesSampler` on the runtime's
+    kernel: per-tenant RX-ring occupancy and completed-packet counts are
+    sampled every poll interval (``timeseries_path`` exports the series
+    as CSV; the sampler itself is returned under ``"timeseries"``).
     """
     # Imports here keep ``import repro.obs`` itself dependency-light.
     from repro.core import NFConfig, NICOS, SNIC
@@ -138,9 +146,24 @@ def run_cotenancy_scenario(
         packet.arrival_ns = (i + 1) * 800
         packets.append(packet)
     runtime.inject(packets)
+    # Kernel-driven sampling: one aligned row per poll interval, ending
+    # by itself when the runtime drains (stop-when-idle).
+    sampler = TimeSeriesSampler(runtime.sim,
+                                interval_ns=runtime.poll_interval_ns)
+    for tenant in tenants:
+        record = snic.record(tenant)
+        sampler.watch(f"rx_ring_occupancy[{tenant}]",
+                      lambda r=record: float(r.vpp.rx_ring.occupancy))
+    sampler.watch("packets_completed",
+                  lambda: float(runtime.stats.completed))
+    sampler.start()
     stats = runtime.run()
+    sampler.stop()
+    sampler.sample_now()  # the post-drain steady state
     if profiler is not None:
         profiler.detach_kernel(runtime.sim)
+    if timeseries_path:
+        sampler.write_csv(timeseries_path)
 
     # ------------------------------------------------------------------
     # Phase 2: direct contention on the shared microarchitecture (cache,
@@ -213,6 +236,9 @@ def run_cotenancy_scenario(
         "tracks": tracer.tracks(),
         "packets_completed": stats.completed,
         "packets_dropped": stats.dropped,
+        "timeseries": sampler,
+        "timeseries_path": timeseries_path,
+        "timeseries_samples": sampler.samples_taken,
     }
     tracer.use_clock(None)
     tracer.disable()

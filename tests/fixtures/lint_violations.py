@@ -55,6 +55,15 @@ def emit_telemetry(n_bytes):
     registry.counter("fixture_bytes_total", kind="rx").inc(n_bytes)
 
 
+def emit_half_attributed_interference(victim):
+    # SNIC004 (strict form): interference_* metrics must carry BOTH
+    # tenant= (the victim) and culprit= — a victim-only edge is
+    # half-attributed blame.
+    registry.counter("interference_wait_ns_total", resource="bus",
+                     tenant=victim).inc(100.0)
+    registry.counter("interference_events_total", resource="bus").inc(1)
+
+
 def float_delay(latency_ns):
     # SNIC005: provably float-valued delay reaching the kernel.
     sim.schedule(latency_ns / 2, on_packet)

@@ -152,6 +152,32 @@ class TestRuleBehaviour:
         assert [f for f in lint_source(dirty) if f.rule == "SNIC004"]
         assert not [f for f in lint_source(clean) if f.rule == "SNIC004"]
 
+    def test_snic004_interference_metric_needs_both_edges(self):
+        victim_only = ("def f(registry):\n"
+                       "    registry.counter('interference_wait_ns_total',\n"
+                       "                     resource='bus', tenant=1)\n")
+        findings = [f for f in lint_source(victim_only)
+                    if f.rule == "SNIC004"]
+        assert findings and "culprit=" in findings[0].message
+
+        neither = ("def f(registry):\n"
+                   "    registry.counter('interference_events_total',\n"
+                   "                     resource='bus')\n")
+        findings = [f for f in lint_source(neither) if f.rule == "SNIC004"]
+        assert findings
+        assert "tenant=" in findings[0].message
+        assert "culprit=" in findings[0].message
+
+        both = ("def f(registry):\n"
+                "    registry.counter('interference_wait_ns_total',\n"
+                "                     resource='bus', tenant=1, culprit=2)\n")
+        assert not [f for f in lint_source(both) if f.rule == "SNIC004"]
+
+    def test_snic004_non_interference_mint_only_needs_tenant(self):
+        text = ("def f(registry):\n"
+                "    registry.counter('bytes_total', tenant=1)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC004"]
+
     def test_snic005_float_delay(self):
         dirty = "def f(sim, ns):\n    sim.schedule(ns / 2, f)\n"
         clean = "def f(sim, ns):\n    sim.schedule(ns // 2, f)\n"
