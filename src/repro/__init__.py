@@ -38,6 +38,11 @@ Subpackages
     into every hardware layer, a metrics registry (counters, gauges,
     histograms), and Chrome ``trace_event`` / CSV / JSON exporters
     (``python -m repro trace``).
+``repro.faults``
+    Deterministic fault injection: seeded fault plans, interposition-
+    based injectors over the hardware and core models, sim-time
+    watchdog/retry/restart recovery, and the commodity-vs-S-NIC
+    blast-radius matrix (``python -m repro chaos``).
 
 Quickstart
 ----------
@@ -58,6 +63,7 @@ __all__ = [
     "core",
     "cost",
     "crypto",
+    "faults",
     "hw",
     "net",
     "nf",

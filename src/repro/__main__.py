@@ -19,7 +19,13 @@ Commands:
   configurations, with per-resource interference matrices, side-channel
   capacity estimates, and a pass/fail noninterference verdict
   (``--quick`` for the CI gate, ``--format text|json|markdown``)
-* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC005) over
+* ``chaos``   — the fault-injection blast-radius matrix: run every
+  fault class (DMA errors, bus babble, NF crashes, wire corruption,
+  ...) as a commodity-vs-S-NIC differential and verify the blast
+  radius is the faulty tenant on S-NIC and the device on commodity
+  (``--quick`` for CI, ``--matrix`` for all twelve classes,
+  ``--seed N`` for a replayable schedule)
+* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC006) over
   the source tree (``--format text|json|github``)
 * ``sanitize`` — determinism checker: run the co-tenancy demo twice
   and fail on event-stream digest divergence
@@ -38,11 +44,13 @@ def _info() -> None:
     print("subpackages:", ", ".join(repro.__all__))
     print()
     print("commands: python -m repro "
-          "[info|report|attacks|trace|bench|audit|lint|sanitize]")
+          "[info|report|attacks|trace|bench|audit|chaos|lint|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
     print("audit:    python -m repro audit [--quick] "
           "[--format text|json|markdown] [--out PATH]")
+    print("chaos:    python -m repro chaos [--seed N] [--matrix] [--quick] "
+          "[--format text|json|markdown]")
     print("analysis: python -m repro lint [--format github]; "
           "python -m repro sanitize")
 
@@ -186,6 +194,10 @@ def main(argv: list) -> int:
         from repro.obs.audit import main as audit_main
 
         return audit_main(argv[2:])
+    elif command == "chaos":
+        from repro.faults.chaos import main as chaos_main
+
+        return chaos_main(argv[2:])
     elif command == "lint":
         from repro.analysis.lint import main as lint_main
 

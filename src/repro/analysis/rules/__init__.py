@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Type
 
 from repro.analysis.lint import Rule
+from repro.analysis.rules.chaos_seed import ChaosSeedRule
 from repro.analysis.rules.isolation import IsolationBypassRule
 from repro.analysis.rules.nondeterminism import (
     FloatSimTimeRule,
@@ -25,6 +26,7 @@ _RULE_CLASSES: List[Type[Rule]] = [
     CallbackGlobalMutationRule,
     UntaggedTelemetryRule,
     FloatSimTimeRule,
+    ChaosSeedRule,
 ]
 
 

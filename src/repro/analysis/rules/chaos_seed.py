@@ -1,0 +1,90 @@
+"""SNIC006 — unseeded randomness in fault-injection / chaos code.
+
+The chaos CLI promises "same ``--seed`` ⇒ byte-identical report", and a
+failure found in CI is only actionable if the schedule that produced it
+can be replayed locally.  That property dies the moment any fault or
+chaos path draws from randomness that is not the
+:class:`~repro.faults.plan.FaultPlan`'s own seeded ``random.Random``:
+
+* ``random.Random()`` constructed with *no* seed is seeded from OS
+  entropy — two runs of the same plan diverge silently;
+* module-level ``random.*`` calls (``random.seed``, ``random.random``,
+  ...) share one process-global generator whose state any import can
+  perturb, so even a ``random.seed(N)`` up front is fragile.
+
+SNIC002 already flags module-level draws everywhere; this rule owns the
+fault/chaos scope, where it is stricter (the unseeded constructor and
+``random.seed`` are also violations) because replayability there is a
+documented CLI contract, not just hygiene.  Scope: modules or functions
+whose name has a ``fault``/``faults``/``chaos`` component.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+)
+
+#: A name is in scope when one of its ``.``/``_``-separated components
+#: is ``fault``/``faults``/``chaos`` — substring matching would drag in
+#: innocents like ``default``.
+_SCOPE_COMPONENT = re.compile(r"^(faults?|chaos)$")
+
+
+def _name_in_scope(name: str) -> bool:
+    return any(_SCOPE_COMPONENT.match(part)
+               for part in re.split(r"[._]+", name) if part)
+
+
+def _is_unseeded_random(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    if name not in ("random.Random", "Random"):
+        return False
+    return not node.args and not node.keywords
+
+
+class ChaosSeedRule(Rule):
+    rule_id = "SNIC006"
+    title = "unseeded randomness in fault/chaos code"
+    rationale = ("the chaos CLI contract is same-seed ⇒ byte-identical "
+                 "blast-radius reports; unseeded Random() and the "
+                 "process-global random module make fault schedules "
+                 "unreplayable")
+    hint = ("draw every fault-path random number from the FaultPlan's "
+            "seeded rng (FaultPlan(seed).rng) or another explicitly "
+            "seeded random.Random(seed) instance")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        module_scoped = _name_in_scope(module.modname)
+        # Walk with an in-scope flag: a fault/chaos-named function puts
+        # its whole body in scope even inside an unrelated module.
+        stack = [(module.tree, module_scoped)]
+        while stack:
+            node, in_scope = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                in_scope = in_scope or _name_in_scope(node.name)
+            if in_scope and isinstance(node, ast.Call):
+                if _is_unseeded_random(node):
+                    yield self.finding(
+                        module, node,
+                        "random.Random() constructed without a seed in "
+                        "fault/chaos code — the schedule cannot be "
+                        "replayed")
+                else:
+                    name = dotted_name(node.func)
+                    prefix, _, attr = name.rpartition(".")
+                    if prefix == "random" and attr not in ("Random",
+                                                           "SystemRandom"):
+                        yield self.finding(
+                            module, node,
+                            f"module-level {name}() in fault/chaos code "
+                            f"uses the process-global RNG")
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, in_scope))

@@ -3,9 +3,17 @@
 ``nf_launch`` and friends fail atomically (§4.1): when any validation
 step fails, no partial state is left behind.  Each failure mode has a
 distinct exception so tests can assert the precise check that fired.
+
+The fault-injection taxonomy (``FaultInjected`` and the recovery errors)
+lives here too, so ``repro.faults`` and the hardware models share one
+error vocabulary.
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.memory import AccessFault
 
 
 class SNICError(Exception):
@@ -31,3 +39,44 @@ class AttestationError(SNICError):
 
 class FatalFunctionError(SNICError):
     """A locked-TLB miss: per §4.2 the function is destroyed."""
+
+
+class FaultInjected(SNICError):
+    """A deliberately injected fault surfaced to the caller.
+
+    Raised by ``repro.faults.inject`` interposition wrappers (and by
+    native seams such as the NIC-OS stall flag).  Carries enough context
+    for recovery code to resume: ``kind`` is the
+    :class:`repro.faults.plan.FaultKind` value string, ``tenant`` the
+    affected owner, ``completion_ns`` the sim time at which the faulted
+    operation's resource occupancy ended (retry may not start earlier),
+    and ``bytes_done`` how much of a partial transfer landed.
+    """
+
+    def __init__(self, message: str, *, kind: Optional[str] = None,
+                 tenant: Optional[int] = None,
+                 completion_ns: Optional[float] = None,
+                 bytes_done: int = 0) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.tenant = tenant
+        self.completion_ns = completion_ns
+        self.bytes_done = bytes_done
+
+
+class WatchdogTimeout(SNICError):
+    """A sim-time watchdog deadline expired before being petted."""
+
+
+class RecoveryExhausted(SNICError):
+    """Bounded recovery (retry/backoff or restart budget) ran out."""
+
+
+class DMAFault(SNICError, AccessFault):
+    """A DMA window/configuration violation.
+
+    Subclasses :class:`repro.hw.memory.AccessFault` so the historical
+    ``except AccessFault`` call sites (and the whole DMA test corpus)
+    keep working, while joining the :class:`SNICError` taxonomy so
+    fault-handling code can catch all S-NIC failures uniformly.
+    """

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.errors import IsolationViolation
+from repro.core.errors import FaultInjected, IsolationViolation
 from repro.core.snic import NFConfig, SNIC
 from repro.core.virtual_nic import VirtualNIC
 from repro.hw.memory import HostMemory
@@ -32,6 +32,18 @@ class NICOS:
         self.snic = snic
         self.page_table = PageTable(page_size=snic.memory.page_size)
         self._vnics: Dict[int, VirtualNIC] = {}
+        #: Fault-injection seam (``repro.faults``): while True the
+        #: management core is wedged and every management operation
+        #: fails.  On S-NIC the datapath keeps flowing regardless —
+        #: the NIC OS sits *off* the datapath (§4.2) — which is exactly
+        #: the property the chaos suite's NIC_OS_STALL class verifies.
+        self.stalled = False
+
+    def _check_stalled(self) -> None:
+        if self.stalled:
+            raise FaultInjected(
+                "NIC OS management core is stalled",
+                kind="nic_os_stall", tenant=None)
 
     # ------------------------------------------------------------------
     # The management API (Table 1, left column)
@@ -39,6 +51,7 @@ class NICOS:
 
     def NF_create(self, config: NFConfig) -> VirtualNIC:
         """Reserve resources and invoke ``nf_launch``."""
+        self._check_stalled()
         nf_id = self.snic.nf_launch(config)
         vnic = VirtualNIC(self.snic, nf_id)
         self._vnics[nf_id] = vnic
@@ -46,6 +59,7 @@ class NICOS:
 
     def NF_destroy(self, nf_id: int) -> None:
         """Invoke ``nf_teardown`` and forget the handle."""
+        self._check_stalled()
         self.snic.nf_teardown(nf_id)
         self._vnics.pop(nf_id, None)
 
@@ -67,11 +81,13 @@ class NICOS:
 
     def os_read(self, paddr: int, size: int) -> bytes:
         """A management-core load; trusted hardware walks the denylist."""
+        self._check_stalled()
         self._check_denylist(paddr, size)
         return self.snic.memory.read(paddr, size)
 
     def os_write(self, paddr: int, data: bytes) -> None:
         """A management-core store; denylist-checked like reads."""
+        self._check_stalled()
         self._check_denylist(paddr, len(data))
         self.snic.memory.write(paddr, data)
 

@@ -28,6 +28,21 @@ _TRACER = get_tracer()
 DMA_ENGINE_BANDWIDTH = 8.0
 
 
+def _dma_fault(message: str) -> AccessFault:
+    """Build the canonical DMA failure exception.
+
+    ``DMAFault`` lives in ``repro.core.errors`` (it is part of the
+    S-NIC error taxonomy) but ``repro.core``'s package ``__init__``
+    eagerly imports the hw layer, so importing it at module scope here
+    would create a cycle; resolve it lazily at the raise sites instead.
+    The class subclasses :class:`AccessFault`, so every historical
+    ``except AccessFault`` caller still works.
+    """
+    from repro.core.errors import DMAFault
+
+    return DMAFault(message)
+
+
 @dataclass(frozen=True)
 class DMAWindow:
     """An allowed address window ``[base, base + size)``."""
@@ -79,7 +94,7 @@ class DMABank:
         self, owner: int, nic_window: DMAWindow, host_window: DMAWindow
     ) -> None:
         if self._locked:
-            raise AccessFault(f"DMA bank {self.bank_id} is locked")
+            raise _dma_fault(f"DMA bank {self.bank_id} is locked")
         self.owner = owner
         self.nic_window = nic_window
         self.host_window = host_window
@@ -107,16 +122,16 @@ class DMABank:
 
     def _check(self, nic_addr: int, host_addr: int, n_bytes: int) -> None:
         if self.nic_window is None or self.host_window is None:
-            raise AccessFault(f"DMA bank {self.bank_id} not configured")
+            raise _dma_fault(f"DMA bank {self.bank_id} not configured")
         if not self.nic_window.contains(nic_addr, n_bytes):
             self._count_reject()
-            raise AccessFault(
+            raise _dma_fault(
                 f"DMA bank {self.bank_id}: NIC address {nic_addr:#x} "
                 f"(+{n_bytes}) outside the function's window"
             )
         if not self.host_window.contains(host_addr, n_bytes):
             self._count_reject()
-            raise AccessFault(
+            raise _dma_fault(
                 f"DMA bank {self.bank_id}: host address {host_addr:#x} "
                 f"(+{n_bytes}) outside the host-sanctioned window"
             )
@@ -213,7 +228,7 @@ class DMAController:
 
     def bank_for_core(self, core_id: int) -> DMABank:
         if not 0 <= core_id < len(self.banks):
-            raise AccessFault(f"no DMA bank for core {core_id}")
+            raise _dma_fault(f"no DMA bank for core {core_id}")
         return self.banks[core_id]
 
     def banks_for_owner(self, owner: int) -> List[DMABank]:

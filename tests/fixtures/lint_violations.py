@@ -68,3 +68,12 @@ def float_delay(latency_ns):
     # SNIC005: provably float-valued delay reaching the kernel.
     sim.schedule(latency_ns / 2, on_packet)
     sim.schedule(1.5, on_packet)
+
+
+def chaos_fault_jitter(plan):
+    # SNIC006: fault/chaos code must draw from the plan's seeded RNG —
+    # an unseeded Random() and the process-global random module both
+    # make the fault schedule unreplayable.
+    rng = random.Random()
+    random.seed(1234)
+    return rng.random() + plan.jitter_ns

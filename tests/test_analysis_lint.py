@@ -27,7 +27,8 @@ from repro.analysis.lint import (
 
 FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
 
-ALL_RULES = {"SNIC001", "SNIC002", "SNIC003", "SNIC004", "SNIC005"}
+ALL_RULES = {"SNIC001", "SNIC002", "SNIC003", "SNIC004", "SNIC005",
+             "SNIC006"}
 
 
 def lint_source(text: str, modname: str = "scratch") -> list:
@@ -183,6 +184,32 @@ class TestRuleBehaviour:
         clean = "def f(sim, ns):\n    sim.schedule(ns // 2, f)\n"
         assert [f for f in lint_source(dirty) if f.rule == "SNIC005"]
         assert not [f for f in lint_source(clean) if f.rule == "SNIC005"]
+
+    def test_snic006_unseeded_random_in_fault_module(self):
+        dirty = "import random\nrng = random.Random()\n"
+        findings = lint_source(dirty, modname="repro.faults.plan")
+        assert [f for f in findings if f.rule == "SNIC006"]
+        seeded = "import random\nrng = random.Random(7)\n"
+        findings = lint_source(seeded, modname="repro.faults.plan")
+        assert not [f for f in findings if f.rule == "SNIC006"]
+
+    def test_snic006_module_level_random_in_chaos_function(self):
+        text = ("import random\n"
+                "def chaos_delay():\n"
+                "    return random.seed(1)\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC006"]
+        assert findings and "process-global" in findings[0].message
+
+    def test_snic006_out_of_scope_code_is_exempt(self):
+        text = ("import random\n"
+                "def default_delay():\n"
+                "    return random.Random()\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC006"]
+
+    def test_snic006_plan_rng_draws_are_fine(self):
+        text = ("def fault_jitter(plan):\n"
+                "    return plan.rng.randint(0, 10)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC006"]
 
 
 # ----------------------------------------------------------------------

@@ -71,3 +71,11 @@ def test_ablation_bus_quick_reduces_sweep():
 def test_snic_lifecycle_timings():
     outputs = run_quick("snic_lifecycle")
     assert all(v > 0 for v in outputs.values())
+
+
+def test_chaos_blast_radius():
+    outputs = run_quick("chaos_blast_radius")
+    assert outputs["verdict_pass"] is True
+    assert outputs["bus_babble"]["commodity_disruption"] > 0
+    assert outputs["bus_babble"]["snic_disruption"] == 0.0
+    assert outputs["bus_babble"]["blast_radius"] == "tenant"
