@@ -43,6 +43,10 @@ Subpackages
     based injectors over the hardware and core models, sim-time
     watchdog/retry/restart recovery, and the commodity-vs-S-NIC
     blast-radius matrix (``python -m repro chaos``).
+``repro.scenario``
+    Declarative experiments: frozen, validated ``ScenarioSpec`` objects, the
+    ``@scenario("name")`` registry, the spec-to-simulation builder, and
+    the axis-product sweep runner (``python -m repro matrix``).
 
 Quickstart
 ----------
@@ -69,4 +73,5 @@ __all__ = [
     "nf",
     "obs",
     "perf",
+    "scenario",
 ]

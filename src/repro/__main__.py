@@ -4,9 +4,16 @@ Commands:
 
 * ``report``  — the headline paper-vs-reproduced evaluation summary
 * ``attacks`` — replay the §3.3 attacks (commodity vs S-NIC)
-* ``trace``   — run the two-tenant co-tenancy demo with tracing on and
-  write a Chrome/Perfetto-loadable ``trace_event`` JSON
-  (``python -m repro trace -o snic_trace.json``)
+* ``trace``   — run a registered scenario with tracing on and write a
+  Chrome/Perfetto-loadable ``trace_event`` JSON
+  (``python -m repro trace --scenario cotenancy-demo -o snic_trace.json``;
+  ``--list`` prints the scenario catalog)
+* ``matrix``  — sweep the declarative scenario matrix
+  ``{nic_model} x {tenant_count} x {fault_class} x {arbiter} x {seed}``
+  and emit one schema-versioned record per cell
+  (``--quick`` for the 16-cell CI gate, ``--format text|json|csv``,
+  ``--sanitize`` to run every cell under IsoSan; same ``--seed`` gives
+  byte-identical reports)
 * ``bench``   — run the unified benchmark harness over every
   ``benchmarks/bench_*.py`` scenario and write a schema-versioned
   ``BENCH_<timestamp>.json`` (``--quick`` for CI-sized runs,
@@ -25,7 +32,7 @@ Commands:
   radius is the faulty tenant on S-NIC and the device on commodity
   (``--quick`` for CI, ``--matrix`` for all twelve classes,
   ``--seed N`` for a replayable schedule)
-* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC006) over
+* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC007) over
   the source tree (``--format text|json|github``)
 * ``sanitize`` — determinism checker: run the co-tenancy demo twice
   and fail on event-stream digest divergence
@@ -36,6 +43,30 @@ from __future__ import annotations
 
 import sys
 
+#: command -> one-line description, in display order (``--help`` prints
+#: exactly this table, so adding a command here *is* documenting it).
+_COMMANDS = {
+    "info": "version + package inventory (default)",
+    "report": "headline paper-vs-reproduced evaluation summary",
+    "attacks": "replay the §3.3 commodity attacks (corruption, DPI "
+               "theft, bus DoS)",
+    "trace": "run a registered scenario with tracing on; export a "
+             "Chrome trace (--scenario NAME, --list)",
+    "matrix": "sweep {nic_model} x {tenant_count} x {fault_class} x "
+              "{arbiter}; one record per cell (--quick)",
+    "bench": "run benchmarks/bench_*.py under the unified harness "
+             "(--quick, --profile, --compare A B)",
+    "audit": "isolation scorecard: solo-vs-co-tenant differential per "
+             "shared resource (--quick)",
+    "chaos": "fault-injection blast-radius differential, commodity vs "
+             "S-NIC (--quick, --matrix, --seed N)",
+    "lint": "S-NIC-specific static analysis SNIC001-SNIC007 "
+            "(--format text|json|github)",
+    "sanitize": "determinism checker: same seed must give the same "
+                "event-stream digest",
+    "help": "this table",
+}
+
 
 def _info() -> None:
     import repro
@@ -44,41 +75,88 @@ def _info() -> None:
     print("subpackages:", ", ".join(repro.__all__))
     print()
     print("commands: python -m repro "
-          "[info|report|attacks|trace|bench|audit|chaos|lint|sanitize]")
+          "[info|report|attacks|trace|matrix|bench|audit|chaos|lint|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
+    print("matrix:   python -m repro matrix [--quick] [--seed N] "
+          "[--format text|json|csv] [--sanitize]")
     print("audit:    python -m repro audit [--quick] "
           "[--format text|json|markdown] [--out PATH]")
     print("chaos:    python -m repro chaos [--seed N] [--matrix] [--quick] "
           "[--format text|json|markdown]")
     print("analysis: python -m repro lint [--format github]; "
           "python -m repro sanitize")
+    print()
+    print("run `python -m repro help` for one line per command")
+
+
+def _help() -> int:
+    """``python -m repro help`` / ``--help``: the full command table."""
+    print("usage: python -m repro <command> [options]")
+    print()
+    print("commands:")
+    width = max(len(name) for name in _COMMANDS)
+    for name, description in _COMMANDS.items():
+        print(f"  {name:<{width}}  {description}")
+    print()
+    print("`python -m repro <command> --help` shows each command's options.")
+    return 0
 
 
 def _trace(argv: list) -> int:
-    """``python -m repro trace [-o trace.json] [-m metrics.json] [-n N]``"""
+    """``python -m repro trace [--scenario NAME] [-o trace.json] ...``"""
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
-        description="Run a small two-tenant co-tenancy scenario with the "
-                    "repro.obs tracer enabled and export a Chrome "
-                    "trace_event JSON (load it in chrome://tracing or "
-                    "https://ui.perfetto.dev).",
+        description="Run a registered scenario with the repro.obs tracer "
+                    "enabled.  The default (cotenancy-demo) exports a "
+                    "Chrome trace_event JSON (load it in chrome://tracing "
+                    "or https://ui.perfetto.dev); other scenarios print "
+                    "their outputs as JSON.",
     )
+    parser.add_argument("--scenario", default="cotenancy-demo",
+                        metavar="NAME",
+                        help="registered scenario to run "
+                             "(default: cotenancy-demo; see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered scenario catalog and exit")
     parser.add_argument("-o", "--out", default="snic_trace.json",
                         help="trace output path (default: snic_trace.json)")
     parser.add_argument("-m", "--metrics", default=None,
                         help="also dump the metrics registry as JSON here")
     parser.add_argument("-n", "--packets", type=int, default=60,
-                        help="packets to inject across the two tenants")
+                        help="packets to inject across the tenants")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized parameters for scenarios that "
+                             "support them")
     args = parser.parse_args(argv)
 
-    from repro.obs import export, get_registry
-    from repro.obs.scenario import run_cotenancy_scenario
+    from repro.scenario import registry
 
-    summary = run_cotenancy_scenario(
-        out_path=args.out, n_packets=args.packets, metrics_path=args.metrics)
+    if args.list:
+        for entry in registry.entries():
+            tags = ",".join(entry.tags)
+            print(f"{entry.name:<20} [{tags}]  {entry.description}")
+        return 0
+
+    try:
+        summary = registry.run(args.scenario, quick=args.quick,
+                               out_path=args.out, n_packets=args.packets,
+                               metrics_path=args.metrics)
+    except registry.UnknownScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if "trace_path" not in summary:
+        # A wrapped harness (chaos, attacks, cost model) — no trace file,
+        # just structured outputs.
+        print(json.dumps(summary, indent=2, sort_keys=True, default=repr))
+        return 0
+
+    from repro.obs import export, get_registry
+
     print(f"wrote {summary['trace_path']}: {summary['events']} events, "
           f"{summary['spans']} spans")
     print(f"  tenants: {summary['tenants']}")
@@ -184,10 +262,16 @@ def _bench(argv: list) -> int:
 
 def main(argv: list) -> int:
     command = argv[1] if len(argv) > 1 else "info"
+    if command in ("help", "-h", "--help"):
+        return _help()
     if command == "info":
         _info()
     elif command == "trace":
         return _trace(argv[2:])
+    elif command == "matrix":
+        from repro.scenario.matrix import main as matrix_main
+
+        return matrix_main(argv[2:])
     elif command == "bench":
         return _bench(argv[2:])
     elif command == "audit":

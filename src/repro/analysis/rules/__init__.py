@@ -18,6 +18,7 @@ from repro.analysis.rules.nondeterminism import (
     NondeterminismRule,
 )
 from repro.analysis.rules.races import CallbackGlobalMutationRule
+from repro.analysis.rules.scenario_seed import ScenarioSeedRule
 from repro.analysis.rules.telemetry import UntaggedTelemetryRule
 
 _RULE_CLASSES: List[Type[Rule]] = [
@@ -27,6 +28,7 @@ _RULE_CLASSES: List[Type[Rule]] = [
     UntaggedTelemetryRule,
     FloatSimTimeRule,
     ChaosSeedRule,
+    ScenarioSeedRule,
 ]
 
 

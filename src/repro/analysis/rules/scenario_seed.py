@@ -1,0 +1,113 @@
+"""SNIC007 — unseeded scenario specs and wall-clock reads in scenario code.
+
+The scenario subsystem's contract mirrors the chaos CLI's: same
+``--seed`` ⇒ byte-identical matrix reports.  Two code shapes break it:
+
+* a :class:`~repro.scenario.spec.ScenarioSpec` constructed without an
+  explicit ``seed=`` keyword — the spec layer *requires* the field, so
+  leaving it implicit (positional, spread, or defaulted by a helper)
+  hides where a cell's determinism comes from and invites "just
+  default it" regressions;
+* wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``,
+  ``strftime``, ...) anywhere in scenario-scoped code — one host
+  timestamp in a report and the CI ``cmp`` gate of two same-seed runs
+  fails forever.
+
+SNIC002/SNIC006 own randomness; this rule owns the scenario scope's
+seed plumbing and its no-wall-clock reporting contract.  Scope: modules
+or functions whose name has a ``scenario``/``scenarios``/``matrix``
+component, plus ``ScenarioSpec(...)`` construction *anywhere* (the
+seed-keyword requirement is about call-site explicitness, not scope).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.lint import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+)
+
+#: A name is in scope when one of its ``.``/``_``-separated components
+#: is ``scenario``/``scenarios``/``matrix`` — component matching, not
+#: substring, so e.g. ``matrix_free_impl`` is in scope but
+#: ``dot_matrixlike`` is not.
+_SCOPE_COMPONENT = re.compile(r"^(scenarios?|matrix)$")
+
+#: Wall-clock entry points whose value differs between two runs.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.strftime", "time.localtime",
+    "time.gmtime", "time.ctime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+})
+
+
+def _name_in_scope(name: str) -> bool:
+    return any(_SCOPE_COMPONENT.match(part)
+               for part in re.split(r"[._]+", name) if part)
+
+
+def _is_spec_call(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    return name.rpartition(".")[2] == "ScenarioSpec"
+
+
+def _has_explicit_seed(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            return True
+        if keyword.arg is None:  # **spread — assume the dict carries it
+            return True
+    # Two or more positional args reach the seed parameter positionally;
+    # that is still "explicit" in the sense that a seed value is at the
+    # call site (the spec layer validates its type).
+    return len(node.args) >= 2
+
+
+class ScenarioSeedRule(Rule):
+    rule_id = "SNIC007"
+    title = "unseeded ScenarioSpec or wall-clock read in scenario code"
+    rationale = ("the matrix runner's contract is same-seed ⇒ "
+                 "byte-identical reports; a ScenarioSpec without an "
+                 "explicit seed hides where a cell's determinism comes "
+                 "from, and one wall-clock value in scenario code "
+                 "breaks the CI byte-compare gate")
+    hint = ("pass seed= explicitly at every ScenarioSpec call site "
+            "(derive per-component seeds with derive_seed), and keep "
+            "time.time/perf_counter/datetime.now out of scenario-scoped "
+            "code — reports must be pure functions of the seed")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        module_scoped = _name_in_scope(module.modname)
+        # Walk with an in-scope flag: a scenario/matrix-named function
+        # puts its whole body in scope even inside an unrelated module.
+        stack = [(module.tree, module_scoped)]
+        while stack:
+            node, in_scope = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                in_scope = in_scope or _name_in_scope(node.name)
+            if isinstance(node, ast.Call):
+                if _is_spec_call(node) and not _has_explicit_seed(node):
+                    yield self.finding(
+                        module, node,
+                        "ScenarioSpec(...) without an explicit seed= "
+                        "keyword — determinism must be visible at the "
+                        "call site")
+                elif in_scope and dotted_name(node.func) in \
+                        _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"wall-clock read {dotted_name(node.func)}() in "
+                        f"scenario code — reports must be byte-identical "
+                        f"across same-seed runs")
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, in_scope))

@@ -472,83 +472,100 @@ def _nf_crash_workload(snic: bool, inject: bool, seed: int,
     return _nf_crash_commodity(inject, seed, rounds)
 
 
+def _crash_spec(seed: int) -> "object":
+    """The two-monitor S-NIC deployment the crash workload runs on."""
+    from repro.scenario.spec import (
+        NFSpec,
+        ScenarioSpec,
+        TenantSpec,
+        TopologySpec,
+        TrafficSpec,
+    )
+
+    # Traffic is hand-built below (paired arrivals per round), so the
+    # spec carries no TrafficSpec load of its own.
+    return ScenarioSpec(
+        name="chaos-nf-crash-snic",
+        seed=seed,
+        description="two monitors on one S-NIC; one crashes mid-handler",
+        tags=("faults", "chaos"),
+        topology=TopologySpec(nic_model="snic", n_cores=4, dram_mb=64,
+                              key_seed=7),
+        tenants=(
+            TenantSpec(name="chaos-victim", nf=NFSpec(kind="monitor"),
+                       dst_prefix="20.0.0.0/8"),
+            TenantSpec(name="chaos-faulty", nf=NFSpec(kind="monitor"),
+                       dst_prefix="30.0.0.0/8"),
+        ),
+        traffic=TrafficSpec(n_packets=0),
+    )
+
+
 def _nf_crash_snic(inject: bool, seed: int,
                    rounds: int) -> Tuple[_Observation, _Info]:
-    from repro.core import NFConfig, NICOS, SNIC
     from repro.core.errors import FatalFunctionError
-    from repro.core.runtime import SNICRuntime
-    from repro.core.vpp import VPPConfig
     from repro.net.packet import Packet
-    from repro.net.rules import MatchRule, Prefix
-    from repro.nf import Monitor
+    from repro.scenario.build import build_scenario
 
-    snic_dev = SNIC(n_cores=4, dram_bytes=64 * MB, key_seed=7)
-    nic_os = NICOS(snic_dev)
-    victim_vnic = nic_os.NF_create(NFConfig(
-        name="chaos-victim", core_ids=(0,), memory_bytes=4 * MB,
-        vpp=VPPConfig(rules=[MatchRule(
-            dst_prefix=Prefix.parse("20.0.0.0/8"))])))
-    faulty_vnic = nic_os.NF_create(NFConfig(
-        name="chaos-faulty", core_ids=(1,), memory_bytes=4 * MB,
-        vpp=VPPConfig(rules=[MatchRule(
-            dst_prefix=Prefix.parse("30.0.0.0/8"))])))
-    runtime = SNICRuntime(snic_dev)
-    runtime.attach(victim_vnic.nf_id, Monitor())
-    runtime.attach(faulty_vnic.nf_id, Monitor())
-    packets: List = []
-    for i in range(rounds):
-        for dst, offset in ((("20.0.0.9"), 0), (("30.0.0.9"), 200)):
-            packet = Packet.make("10.0.0.1", dst, src_port=4_000 + i,
-                                 dst_port=80, payload=b"x" * 64)
-            packet.arrival_ns = (i + 1) * 400 + offset
-            packets.append(packet)
-    runtime.inject(packets)
-    plan = FaultPlan(seed)
-    if inject:
-        plan.at(4_000, FaultKind.NF_CRASH, tenant=faulty_vnic.nf_id)
-    supervisor = NFSupervisor(nic_os, runtime)
-    injector = FaultInjector(plan).install() if inject else None
-    try:
-        if injector is not None:
-            injector.arm_all()
-        # A crash-tolerant replica of SNICRuntime.run()'s drain loop:
-        # the injected FatalFunctionError surfaces out of the kernel,
-        # the supervisor restarts the crashed identity, and the drain
-        # continues.  The clean run takes the exact same loop.
-        runtime._running = True
-        for nf_id in runtime._functions:
-            runtime.sim.schedule(runtime.poll_interval_ns,
-                                 lambda n=nf_id: runtime._poll(n))
-        # Windows advance to *absolute* targets: a crash interrupting a
-        # window must not shift later window boundaries, or the clean
-        # and faulted runs would drain on different schedules and the
-        # victim's timings would differ for bookkeeping reasons.
-        window_ns = runtime.poll_interval_ns * 4
-        target = runtime.sim.now_ns + window_ns
-        horizon = 0
-        while True:
-            try:
-                runtime.sim.run(until_ns=target)
-            except FatalFunctionError:
-                crashed = injector.records[-1].tenant
-                supervisor.on_crash(crashed)
-                continue  # finish the interrupted window
-            target += window_ns
-            pending = any(
-                snic_dev.record(nf_id).vpp.rx_ring.occupancy
-                for nf_id in runtime._functions)
-            if not pending and not snic_dev.rx_port._staged:
-                horizon += 1
-                if horizon >= 3:
-                    break
-            else:
-                horizon = 0
-        runtime._stop()
-    finally:
-        if injector is not None:
-            injector.uninstall()
-    victim_timings = [t for t in runtime.stats.timings
-                      if t.nf_id == victim_vnic.nf_id]
+    with build_scenario(_crash_spec(seed)) as built:
+        snic_dev, nic_os, runtime = built.snic, built.nic_os, built.runtime
+        victim_id = built.tenants["chaos-victim"]
+        faulty_id = built.tenants["chaos-faulty"]
+        packets: List = []
+        for i in range(rounds):
+            for dst, offset in ((("20.0.0.9"), 0), (("30.0.0.9"), 200)):
+                packet = Packet.make("10.0.0.1", dst, src_port=4_000 + i,
+                                     dst_port=80, payload=b"x" * 64)
+                packet.arrival_ns = (i + 1) * 400 + offset
+                packets.append(packet)
+        runtime.inject(packets)
+        plan = FaultPlan(seed)
+        if inject:
+            plan.at(4_000, FaultKind.NF_CRASH, tenant=faulty_id)
+        supervisor = NFSupervisor(nic_os, runtime)
+        injector = FaultInjector(plan).install() if inject else None
+        try:
+            if injector is not None:
+                injector.arm_all()
+            # A crash-tolerant replica of SNICRuntime.run()'s drain loop:
+            # the injected FatalFunctionError surfaces out of the kernel,
+            # the supervisor restarts the crashed identity, and the drain
+            # continues.  The clean run takes the exact same loop.
+            runtime._running = True
+            for nf_id in runtime._functions:
+                runtime.sim.schedule(runtime.poll_interval_ns,
+                                     lambda n=nf_id: runtime._poll(n))
+            # Windows advance to *absolute* targets: a crash interrupting
+            # a window must not shift later window boundaries, or the
+            # clean and faulted runs would drain on different schedules
+            # and the victim's timings would differ for bookkeeping
+            # reasons.
+            window_ns = runtime.poll_interval_ns * 4
+            target = runtime.sim.now_ns + window_ns
+            horizon = 0
+            while True:
+                try:
+                    runtime.sim.run(until_ns=target)
+                except FatalFunctionError:
+                    crashed = injector.records[-1].tenant
+                    supervisor.on_crash(crashed)
+                    continue  # finish the interrupted window
+                target += window_ns
+                pending = any(
+                    snic_dev.record(nf_id).vpp.rx_ring.occupancy
+                    for nf_id in runtime._functions)
+                if not pending and not snic_dev.rx_port._staged:
+                    horizon += 1
+                    if horizon >= 3:
+                        break
+                else:
+                    horizon = 0
+            runtime._stop()
+        finally:
+            if injector is not None:
+                injector.uninstall()
+        victim_timings = [t for t in runtime.stats.timings
+                          if t.nf_id == victim_id]
     obs = {
         "completed": float(len(victim_timings)),
         "latency_ns": float(sum(t.latency_ns for t in victim_timings)),

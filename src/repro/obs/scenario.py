@@ -17,7 +17,7 @@ rings) evolve independently.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.obs import chrome_trace, export, metrics, tracer as tracer_mod
 from repro.obs.timeseries import TimeSeriesSampler
@@ -78,8 +78,15 @@ def run_cotenancy_scenario(
     metrics_path: Optional[str] = None,
     profiler=None,
     timeseries_path: Optional[str] = None,
+    spec=None,
 ) -> Dict[str, object]:
-    """Run the two-tenant demo and write a Perfetto-loadable trace.
+    """Run the co-tenancy demo and write a Perfetto-loadable trace.
+
+    The device, tenants, runtime, and offered load come from the
+    scenario registry's ``cotenancy-demo`` spec (or any
+    :class:`~repro.scenario.spec.ScenarioSpec` passed as ``spec``),
+    materialized through :func:`repro.scenario.build.build_scenario` —
+    this harness only owns the observability choreography on top.
 
     Returns a summary dict (paths, counts, layers covered, tenants
     observed) used by the CLI and asserted by the test suite.  Passing a
@@ -94,152 +101,133 @@ def run_cotenancy_scenario(
     as CSV; the sampler itself is returned under ``"timeseries"``).
     """
     # Imports here keep ``import repro.obs`` itself dependency-light.
-    from repro.core import NFConfig, NICOS, SNIC
-    from repro.core.runtime import SNICRuntime
-    from repro.core.vpp import VPPConfig
-    from repro.hw.accelerator import AcceleratorKind, AcceleratorRequest
-    from repro.hw.dma import DMAWindow
-    from repro.hw.memory import HostMemory
-    from repro.net.packet import Packet
-    from repro.net.rules import MatchRule, Prefix
-    from repro.nf import Firewall, Monitor, make_emerging_threats_rules
+    from repro.hw.accelerator import AcceleratorRequest
+    from repro.scenario.build import build_scenario
+    from repro.scenario.builtin import cotenancy_spec
+
+    if spec is None:
+        spec = cotenancy_spec(n_packets=n_packets)
+    n_packets = spec.traffic.n_packets
 
     tracer = tracer_mod.get_tracer()
     registry = metrics.get_registry()
     tracer.enable()
     tracer.clear()
 
-    snic = SNIC(n_cores=4, dram_bytes=128 * MB, key_seed=7)
-    nic_os = NICOS(snic)
-    host = HostMemory(2 * MB)
-    host_window = DMAWindow(base=0, size=1 * MB)
+    with build_scenario(spec) as built:
+        snic, nic_os = built.snic, built.nic_os
+        host = built.host_memory
+        runtime = built.runtime
+        tenants = tuple(built.nf_ids)
 
-    fw_vnic = nic_os.NF_create(NFConfig(
-        name="fw", core_ids=(0,), memory_bytes=4 * MB,
-        vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("20.0.0.0/8"))]),
-        accelerators=((AcceleratorKind.DPI, 1),),
-        host_window=host_window,
-    ))
-    mon_vnic = nic_os.NF_create(NFConfig(
-        name="mon", core_ids=(1,), memory_bytes=4 * MB,
-        vpp=VPPConfig(rules=[MatchRule(dst_prefix=Prefix.parse("30.0.0.0/8"))]),
-        accelerators=((AcceleratorKind.DPI, 1),),
-        host_window=host_window,
-    ))
-    tenants = (fw_vnic.nf_id, mon_vnic.nf_id)
-
-    # ------------------------------------------------------------------
-    # Phase 1: packets through the event-driven runtime (runtime +
-    # lifecycle layers; clock = simulated nanoseconds).
-    # ------------------------------------------------------------------
-    runtime = SNICRuntime(snic, poll_interval_ns=2_000,
-                          service_ns_per_packet=600)
-    if profiler is not None:
-        profiler.attach_kernel(runtime.sim)
-    runtime.attach(fw_vnic.nf_id, Firewall(make_emerging_threats_rules(64)))
-    runtime.attach(mon_vnic.nf_id, Monitor())
-    packets: List[Packet] = []
-    for i in range(n_packets):
-        dst = "20.0.0.9" if i % 2 == 0 else "30.0.0.9"
-        packet = Packet.make("10.0.0.1", dst, src_port=4000 + i, dst_port=80,
-                             payload=b"x" * 64)
-        packet.arrival_ns = (i + 1) * 800
-        packets.append(packet)
-    runtime.inject(packets)
-    # Kernel-driven sampling: one aligned row per poll interval, ending
-    # by itself when the runtime drains (stop-when-idle).
-    sampler = TimeSeriesSampler(runtime.sim,
-                                interval_ns=runtime.poll_interval_ns)
-    for tenant in tenants:
-        record = snic.record(tenant)
-        sampler.watch(f"rx_ring_occupancy[{tenant}]",
-                      lambda r=record: float(r.vpp.rx_ring.occupancy))
-    sampler.watch("packets_completed",
-                  lambda: float(runtime.stats.completed))
-    sampler.start()
-    stats = runtime.run()
-    sampler.stop()
-    sampler.sample_now()  # the post-drain steady state
-    if profiler is not None:
-        profiler.detach_kernel(runtime.sim)
-    if timeseries_path:
-        sampler.write_csv(timeseries_path)
-
-    # ------------------------------------------------------------------
-    # Phase 2: direct contention on the shared microarchitecture (cache,
-    # bus, accelerator, DMA layers) on a manual cursor that continues
-    # the simulated timeline.
-    # ------------------------------------------------------------------
-    clock = _ManualClock(runtime.sim.now_ns + 1_000)
-    tracer.use_clock(clock)
-
-    # Shared L2: the two tenants stream over disjoint address ranges;
-    # every fill beyond their partitioned ways shows up as a miss span.
-    for round_index in range(48):
+        # --------------------------------------------------------------
+        # Phase 1: packets through the event-driven runtime (runtime +
+        # lifecycle layers; clock = simulated nanoseconds).
+        # --------------------------------------------------------------
+        if profiler is not None:
+            profiler.attach_kernel(runtime.sim)
+        runtime.inject(built.make_packets())
+        # Kernel-driven sampling: one aligned row per poll interval,
+        # ending by itself when the runtime drains (stop-when-idle).
+        sampler = TimeSeriesSampler(runtime.sim,
+                                    interval_ns=runtime.poll_interval_ns)
         for tenant in tenants:
-            addr = (tenant * 0x100000) + (round_index % 24) * 64
-            snic.l2.access(addr, tenant)
-            clock.advance(40)
+            record = snic.record(tenant)
+            sampler.watch(f"rx_ring_occupancy[{tenant}]",
+                          lambda r=record: float(r.vpp.rx_ring.occupancy))
+        sampler.watch("packets_completed",
+                      lambda: float(runtime.stats.completed))
+        sampler.start()
+        stats = runtime.run()
+        sampler.stop()
+        sampler.sample_now()  # the post-drain steady state
+        if profiler is not None:
+            profiler.detach_kernel(runtime.sim)
+        if timeseries_path:
+            sampler.write_csv(timeseries_path)
 
-    # Shared bus: alternating transfers through the temporal-partition
-    # arbiter — the wait beyond wire time is each tenant's epoch gap.
-    for round_index in range(12):
+        # --------------------------------------------------------------
+        # Phase 2: direct contention on the shared microarchitecture
+        # (cache, bus, accelerator, DMA layers) on a manual cursor that
+        # continues the simulated timeline.
+        # --------------------------------------------------------------
+        clock = _ManualClock(runtime.sim.now_ns + 1_000)
+        tracer.use_clock(clock)
+
+        # Shared L2: the tenants stream over disjoint address ranges;
+        # every fill beyond their partitioned ways shows up as a miss
+        # span.
+        for round_index in range(48):
+            for tenant in tenants:
+                addr = (tenant * 0x100000) + (round_index % 24) * 64
+                snic.l2.access(addr, tenant)
+                clock.advance(40)
+
+        # Shared bus: alternating transfers through the temporal-
+        # partition arbiter — the wait beyond wire time is each tenant's
+        # epoch gap.
+        for round_index in range(12):
+            for tenant in tenants:
+                snic.bus.transfer(tenant, 2048, clock.now_ns)
+                clock.advance(250)
+
+        # Accelerators: each tenant saturates its own DPI cluster.
         for tenant in tenants:
-            snic.bus.transfer(tenant, 2048, clock.now_ns)
-            clock.advance(250)
+            clusters = snic.record(tenant).clusters
+            if not clusters:
+                continue
+            for round_index in range(6):
+                clusters[0].submit(AcceleratorRequest(
+                    owner=tenant, n_bytes=512,
+                    issue_ns=clock.now_ns + round_index * 500))
+            clock.advance(4_000)
 
-    # Accelerators: each tenant saturates its own DPI cluster.
-    for tenant in tenants:
-        cluster = snic.record(tenant).clusters[0]
-        for round_index in range(6):
-            cluster.submit(AcceleratorRequest(
-                owner=tenant, n_bytes=512,
-                issue_ns=clock.now_ns + round_index * 500))
-        clock.advance(4_000)
+        # DMA: stage 4 KB of workload data into each tenant's extent.
+        for tenant in tenants:
+            record = snic.record(tenant)
+            bank = snic.dma.bank_for_core(record.config.core_ids[0])
+            bank.to_nic(host, snic.memory, host_addr=0,
+                        nic_addr=record.extent_base + 64 * 1024,
+                        n_bytes=4096)
+            clock.advance(1_000)
 
-    # DMA: stage 4 KB of workload data into each tenant's extent.
-    for tenant in tenants:
-        record = snic.record(tenant)
-        bank = snic.dma.bank_for_core(record.config.core_ids[0])
-        bank.to_nic(host, snic.memory, host_addr=0,
-                    nic_addr=record.extent_base + 64 * 1024, n_bytes=4096)
-        clock.advance(1_000)
+        # Lifecycle epilogue: attest the first tenant, tear down the
+        # last (the builder's clean_up destroys whatever remains).
+        snic.nf_attest(tenants[0], nonce=b"obs-demo")
+        nic_os.NF_destroy(tenants[-1])
 
-    # Lifecycle epilogue: attest one tenant, tear down the other.
-    snic.nf_attest(fw_vnic.nf_id, nonce=b"obs-demo")
-    nic_os.NF_destroy(mon_vnic.nf_id)
+        sample_snic_gauges(snic, registry)
 
-    sample_snic_gauges(snic, registry)
+        # --------------------------------------------------------------
+        # Export
+        # --------------------------------------------------------------
+        layers = sorted({e.cat for e in tracer.events})
+        span_layers = sorted({e.cat for e in tracer.events if e.ph == "X"})
+        traced_tenants = sorted(t for t in tracer.tenants()
+                                if t is not None)
+        chrome_trace.write_chrome_trace(tracer, out_path, metadata={
+            "scenario": spec.name,
+            "tenants": traced_tenants,
+            "packets": n_packets,
+        })
+        if metrics_path:
+            export.write_metrics_json(registry, metrics_path)
 
-    # ------------------------------------------------------------------
-    # Export
-    # ------------------------------------------------------------------
-    layers = sorted({e.cat for e in tracer.events})
-    span_layers = sorted({e.cat for e in tracer.events if e.ph == "X"})
-    traced_tenants = sorted(t for t in tracer.tenants() if t is not None)
-    chrome_trace.write_chrome_trace(tracer, out_path, metadata={
-        "scenario": "cotenancy-demo",
-        "tenants": traced_tenants,
-        "packets": n_packets,
-    })
-    if metrics_path:
-        export.write_metrics_json(registry, metrics_path)
-
-    summary: Dict[str, object] = {
-        "trace_path": out_path,
-        "metrics_path": metrics_path,
-        "events": len(tracer.events),
-        "spans": len(tracer.spans()),
-        "layers": layers,
-        "span_layers": span_layers,
-        "tenants": traced_tenants,
-        "tracks": tracer.tracks(),
-        "packets_completed": stats.completed,
-        "packets_dropped": stats.dropped,
-        "timeseries": sampler,
-        "timeseries_path": timeseries_path,
-        "timeseries_samples": sampler.samples_taken,
-    }
+        summary: Dict[str, object] = {
+            "trace_path": out_path,
+            "metrics_path": metrics_path,
+            "events": len(tracer.events),
+            "spans": len(tracer.spans()),
+            "layers": layers,
+            "span_layers": span_layers,
+            "tenants": traced_tenants,
+            "tracks": tracer.tracks(),
+            "packets_completed": stats.completed,
+            "packets_dropped": stats.dropped,
+            "timeseries": sampler,
+            "timeseries_path": timeseries_path,
+            "timeseries_samples": sampler.samples_taken,
+        }
     tracer.use_clock(None)
     tracer.disable()
     return summary

@@ -1,0 +1,81 @@
+"""``repro.scenario`` — declarative scenarios, the registry, and the
+matrix sweep runner.
+
+* :mod:`repro.scenario.spec` — frozen, validated experiment specs with
+  a lossless dict/JSON round-trip and mandatory explicit seeding;
+* :mod:`repro.scenario.registry` — the ``@scenario("name")`` catalog
+  with discovery, listing, and tag filtering;
+* :mod:`repro.scenario.build` — spec → live simulation, with
+  context-managed setup/teardown;
+* :mod:`repro.scenario.builtin` — the four built-in scenarios;
+* :mod:`repro.scenario.matrix` — the axis-product sweep behind
+  ``python -m repro matrix``.
+"""
+
+from repro.scenario.spec import (
+    ARBITER_POLICIES,
+    ArbiterSpec,
+    FaultSpec,
+    NF_KINDS,
+    NFSpec,
+    NIC_MODELS,
+    ScenarioSpec,
+    SpecError,
+    TenantSpec,
+    TopologySpec,
+    TrafficSpec,
+    derive_seed,
+)
+from repro.scenario.registry import (
+    DuplicateScenarioError,
+    RegisteredScenario,
+    UnknownScenarioError,
+    discover,
+    entries,
+    get,
+    names,
+    register,
+    run,
+    scenario,
+    unregister,
+)
+from repro.scenario.build import (
+    BuiltScenario,
+    ContentionRig,
+    ScenarioBuildError,
+    build_scenario,
+    make_arbiter,
+    make_nf,
+)
+
+__all__ = [
+    "ARBITER_POLICIES",
+    "ArbiterSpec",
+    "BuiltScenario",
+    "ContentionRig",
+    "DuplicateScenarioError",
+    "FaultSpec",
+    "NF_KINDS",
+    "NFSpec",
+    "NIC_MODELS",
+    "RegisteredScenario",
+    "ScenarioBuildError",
+    "ScenarioSpec",
+    "SpecError",
+    "TenantSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "UnknownScenarioError",
+    "build_scenario",
+    "derive_seed",
+    "discover",
+    "entries",
+    "get",
+    "make_arbiter",
+    "make_nf",
+    "names",
+    "register",
+    "run",
+    "scenario",
+    "unregister",
+]

@@ -1,0 +1,149 @@
+"""The ``@scenario`` registry: named, discoverable, taggable experiments.
+
+A scenario is registered by decorating a *spec factory* — a zero-arg
+callable returning a :class:`~repro.scenario.spec.ScenarioSpec`::
+
+    @scenario("cotenancy-demo", tags=("trace", "obs"))
+    def cotenancy() -> ScenarioSpec:
+        ...
+
+Running a registered scenario either goes through the generic
+builder/driver pipeline (build the spec, drive packets + contention,
+return the outputs dict) or through a custom ``driver`` callable for
+scenarios that wrap an existing harness (the chaos differential, the
+§3.3 attack replay, the analytic headline-overhead model).
+
+The registry is the front end ROADMAP item 5 asks for: the trace CLI
+resolves ``--scenario NAME`` here, and the matrix runner generates
+cell specs through the same spec/builder layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.scenario.spec import ScenarioSpec
+
+#: ``driver(spec, *, quick=False, **options) -> dict`` — custom runners
+#: for scenarios that wrap an existing harness instead of the generic
+#: build+drive pipeline.
+Driver = Callable[..., Dict[str, object]]
+
+
+class DuplicateScenarioError(ValueError):
+    """Two registrations claimed the same scenario name."""
+
+
+class UnknownScenarioError(KeyError):
+    """Lookup of a name no registration claimed."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return self.args[0] if self.args else ""
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One registry entry: the factory plus its catalog metadata."""
+
+    name: str
+    factory: Callable[[], ScenarioSpec]
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    driver: Optional[Driver] = field(default=None, compare=False)
+
+    def spec(self) -> ScenarioSpec:
+        spec = self.factory()
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError(
+                f"scenario {self.name!r}: factory returned "
+                f"{type(spec).__name__}, expected ScenarioSpec")
+        return spec
+
+
+_REGISTRY: Dict[str, RegisteredScenario] = {}
+_DISCOVERED = False
+
+
+def register(entry: RegisteredScenario) -> RegisteredScenario:
+    existing = _REGISTRY.get(entry.name)
+    if existing is not None and existing.factory is not entry.factory:
+        raise DuplicateScenarioError(
+            f"scenario {entry.name!r} is already registered "
+            f"(by {existing.factory.__module__}.{existing.factory.__qualname__})")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def scenario(name: str, *, tags: Tuple[str, ...] = (),
+             description: Optional[str] = None,
+             driver: Optional[Driver] = None):
+    """Decorator form: register ``factory`` under ``name``.
+
+    The description defaults to the factory docstring's first line.
+    """
+
+    def decorate(factory: Callable[[], ScenarioSpec]):
+        text = description
+        if text is None:
+            doc = (factory.__doc__ or "").strip()
+            text = doc.splitlines()[0] if doc else ""
+        register(RegisteredScenario(name=name, factory=factory,
+                                    description=text, tags=tuple(tags),
+                                    driver=driver))
+        return factory
+
+    return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (tests use this to keep the catalog clean)."""
+    _REGISTRY.pop(name, None)
+
+
+def discover() -> None:
+    """Import the built-in catalog (idempotent)."""
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    _DISCOVERED = True
+    import repro.scenario.builtin  # noqa: F401  (imports register entries)
+
+
+def get(name: str) -> RegisteredScenario:
+    discover()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; available: {', '.join(names())}")
+    return entry
+
+
+def names(tag: Optional[str] = None) -> List[str]:
+    discover()
+    return sorted(e.name for e in _REGISTRY.values()
+                  if tag is None or tag in e.tags)
+
+
+def entries(tag: Optional[str] = None) -> List[RegisteredScenario]:
+    discover()
+    return sorted((e for e in _REGISTRY.values()
+                   if tag is None or tag in e.tags),
+                  key=lambda e: e.name)
+
+
+def run(name: str, *, quick: bool = False, **options) -> Dict[str, object]:
+    """Resolve ``name`` and run it; returns the scenario's outputs dict.
+
+    Entries with a custom ``driver`` get ``(spec, quick=..., **options)``
+    verbatim; everything else goes through the generic builder pipeline
+    (which ignores driver-specific options like ``out_path``).
+    """
+    entry = get(name)
+    spec = entry.spec()
+    if entry.driver is not None:
+        return entry.driver(spec, quick=quick, **options)
+    from repro.scenario.build import build_scenario
+
+    with build_scenario(spec) as built:
+        return built.drive(quick=quick)

@@ -28,7 +28,7 @@ from repro.analysis.lint import (
 FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
 
 ALL_RULES = {"SNIC001", "SNIC002", "SNIC003", "SNIC004", "SNIC005",
-             "SNIC006"}
+             "SNIC006", "SNIC007"}
 
 
 def lint_source(text: str, modname: str = "scratch") -> list:
@@ -210,6 +210,46 @@ class TestRuleBehaviour:
         text = ("def fault_jitter(plan):\n"
                 "    return plan.rng.randint(0, 10)\n")
         assert not [f for f in lint_source(text) if f.rule == "SNIC006"]
+
+    def test_snic007_spec_without_seed_fires_anywhere(self):
+        # Call-site explicitness is not scope-limited.
+        text = ("from repro.scenario.spec import ScenarioSpec\n"
+                "def make():\n"
+                "    return ScenarioSpec(name='demo')\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC007"]
+        assert findings and "seed" in findings[0].message
+
+    def test_snic007_explicit_seed_is_clean(self):
+        text = ("from repro.scenario.spec import ScenarioSpec\n"
+                "def make():\n"
+                "    return ScenarioSpec(name='demo', seed=7)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC007"]
+
+    def test_snic007_kwargs_spread_assumed_seeded(self):
+        text = ("from repro.scenario.spec import ScenarioSpec\n"
+                "def make(fields):\n"
+                "    return ScenarioSpec(**fields)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC007"]
+
+    def test_snic007_wall_clock_in_scenario_module(self):
+        text = ("import time\n"
+                "def stamp(report):\n"
+                "    report['at'] = time.strftime('%H:%M')\n")
+        findings = lint_source(text, modname="repro.scenario.matrix")
+        assert [f for f in findings if f.rule == "SNIC007"]
+
+    def test_snic007_wall_clock_in_scenario_function(self):
+        text = ("import time\n"
+                "def run_scenario():\n"
+                "    return time.perf_counter()\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC007"]
+        assert findings and "wall-clock" in findings[0].message
+
+    def test_snic007_wall_clock_out_of_scope_is_exempt(self):
+        text = ("import time\n"
+                "def default_stamp():\n"
+                "    return time.time()\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC007"]
 
 
 # ----------------------------------------------------------------------

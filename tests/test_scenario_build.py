@@ -1,0 +1,158 @@
+"""The spec -> simulation builder: deploy, drive, and teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FatalFunctionError
+from repro.scenario.build import build_scenario, make_arbiter, make_nf
+from repro.scenario.spec import (
+    ArbiterSpec,
+    FaultSpec,
+    NFSpec,
+    ScenarioSpec,
+    TenantSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+
+
+def two_tenant_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="build-test",
+        seed=5,
+        topology=TopologySpec(nic_model="snic", n_cores=4, dram_mb=64,
+                              key_seed=7),
+        tenants=(
+            TenantSpec(name="fw", nf=NFSpec(kind="firewall",
+                                            params={"rules": 8}),
+                       dst_prefix="20.0.0.0/8", dpi_units=1),
+            TenantSpec(name="mon", nf=NFSpec(kind="monitor"),
+                       dst_prefix="30.0.0.0/8"),
+        ),
+        traffic=TrafficSpec(n_packets=6),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestFactories:
+    def test_every_nf_kind_materializes(self):
+        for kind in ("firewall", "monitor", "dpi", "nat", "lb", "lpm"):
+            nf = make_nf(NFSpec(kind=kind), seed=9)
+            assert nf is not None
+
+    def test_every_arbiter_policy_materializes(self):
+        from repro.hw.bus import (
+            DeficitRoundRobinArbiter,
+            FCFSArbiter,
+            TemporalPartitioningArbiter,
+        )
+
+        expected = {"fcfs": FCFSArbiter,
+                    "temporal": TemporalPartitioningArbiter,
+                    "drr": DeficitRoundRobinArbiter}
+        for policy, cls in expected.items():
+            arbiter = make_arbiter(ArbiterSpec(policy=policy), [1, 2])
+            assert isinstance(arbiter, cls)
+
+
+class TestDeployment:
+    def test_deploy_materializes_tenants(self):
+        with build_scenario(two_tenant_spec()) as built:
+            assert set(built.tenants) == {"fw", "mon"}
+            assert set(built.nf_ids) <= set(built.snic.live_functions)
+            # Sequential core assignment, one core per tenant by default.
+            fw = built.snic.record(built.tenants["fw"])
+            mon = built.snic.record(built.tenants["mon"])
+            assert fw.config.core_ids == (0,)
+            assert mon.config.core_ids == (1,)
+            assert len(fw.clusters) == 1  # dpi_units=1
+            assert mon.clusters == () or len(mon.clusters) == 0
+
+    def test_make_packets_is_deterministic(self):
+        spec = two_tenant_spec()
+        with build_scenario(spec) as a, build_scenario(spec) as b:
+            pa = [(p.ip.dst_ip, p.arrival_ns) for p in a.make_packets()]
+            pb = [(p.ip.dst_ip, p.arrival_ns) for p in b.make_packets()]
+        assert pa == pb
+        assert len(pa) == 6
+
+    def test_commodity_rig_shares_engine_snic_partitions(self):
+        with build_scenario(two_tenant_spec(
+                topology=TopologySpec(nic_model="commodity"))) as built:
+            assert built.rig().dma.shared_engine
+        with build_scenario(two_tenant_spec()) as built:
+            assert not built.rig().dma.shared_engine
+
+    def test_clean_up_destroys_everything(self):
+        built = build_scenario(two_tenant_spec())
+        with built:
+            built.drive(quick=True)
+            snic = built.snic
+        assert snic.live_functions == {} or not snic.live_functions
+        # Idempotent: a second clean_up is a no-op, not an error.
+        built.clean_up()
+
+    def test_drive_requires_deploy(self):
+        from repro.scenario.build import ScenarioBuildError
+
+        with pytest.raises(ScenarioBuildError):
+            build_scenario(two_tenant_spec()).drive()
+
+
+class TestDriveOutputs:
+    def test_outputs_schema(self):
+        with build_scenario(two_tenant_spec()) as built:
+            outputs = built.drive(quick=True)
+        assert outputs["scenario"] == "build-test"
+        assert outputs["seed"] == 5
+        assert outputs["nic_model"] == "snic"
+        assert outputs["tenant_count"] == 2
+        assert outputs["fault_class"] == "none"
+        assert outputs["packets_completed"] == 6
+        assert outputs["per_tenant_completed"] == {"fw": 3, "mon": 3}
+        for key in ("bus_wait_ns_victim", "dma_wait_ns_victim",
+                    "dram_wait_ns_victim", "cross_tenant_wait_ns"):
+            assert isinstance(outputs[key], float)
+        assert outputs["faults_injected"] == 0
+
+    def test_fault_spec_injects(self):
+        spec = two_tenant_spec(
+            fault=FaultSpec(kind="bus_babble", start_ns=0, count=3,
+                            period_ns=8_000))
+        with build_scenario(spec) as built:
+            outputs = built.drive(quick=True)
+        assert outputs["fault_class"] == "bus_babble"
+        assert outputs["faults_injected"] == 3
+
+
+class TestTeardownUnderFault:
+    def test_crash_mid_drive_still_tears_down(self):
+        # An NF_CRASH with no supervisor escalates out of drive(); the
+        # context manager must still destroy the NFs and uninstall the
+        # injector (LIFO inside the test suite's IsoSan scope).
+        spec = two_tenant_spec(
+            fault=FaultSpec(kind="nf_crash", tenant="mon", start_ns=2_000,
+                            count=1))
+        built = build_scenario(spec)
+        with pytest.raises(FatalFunctionError):
+            with built:
+                snic, injector = built.snic, built.injector
+                built.drive(quick=True)
+        assert not snic.live_functions
+        assert injector is not None and not injector.installed
+
+    def test_interposers_fully_unwound_after_crash(self):
+        # After teardown a fresh, faultless deployment must behave
+        # normally — no leftover class-attribute interposers.
+        spec = two_tenant_spec(
+            fault=FaultSpec(kind="nf_crash", tenant="mon", start_ns=2_000,
+                            count=1))
+        with pytest.raises(FatalFunctionError):
+            with build_scenario(spec) as built:
+                built.drive(quick=True)
+        with build_scenario(two_tenant_spec()) as built:
+            outputs = built.drive(quick=True)
+        assert outputs["packets_completed"] == 6
+        assert outputs["faults_injected"] == 0

@@ -1,0 +1,133 @@
+"""The scenario registry: registration, discovery, lookup, running."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import registry
+from repro.scenario.registry import (
+    DuplicateScenarioError,
+    RegisteredScenario,
+    UnknownScenarioError,
+    scenario,
+    unregister,
+)
+from repro.scenario.spec import NFSpec, ScenarioSpec, TenantSpec, TrafficSpec
+
+BUILTINS = {"cotenancy-demo", "headline-overheads", "chaos-fate-sharing",
+            "attack-replay"}
+
+
+def tiny_spec(name: str = "reg-test") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name, seed=3,
+        tenants=(TenantSpec(name="a", nf=NFSpec(kind="monitor"),
+                            dst_prefix="20.0.0.0/8"),),
+        traffic=TrafficSpec(n_packets=2))
+
+
+@pytest.fixture
+def scratch_registration():
+    """Yield a name and guarantee it is unregistered afterwards."""
+    name = "reg-test-scratch"
+    yield name
+    unregister(name)
+
+
+class TestRegistration:
+    def test_decorator_registers_and_returns_factory(self, scratch_registration):
+        name = scratch_registration
+
+        @scenario(name, tags=("test",))
+        def factory() -> ScenarioSpec:
+            """A scratch scenario."""
+            return tiny_spec(name)
+
+        entry = registry.get(name)
+        assert entry.factory is factory
+        assert entry.description == "A scratch scenario."
+        assert entry.tags == ("test",)
+        assert entry.spec().name == name
+
+    def test_duplicate_name_rejected(self, scratch_registration):
+        name = scratch_registration
+
+        @scenario(name)
+        def first() -> ScenarioSpec:
+            return tiny_spec(name)
+
+        with pytest.raises(DuplicateScenarioError):
+            @scenario(name)
+            def second() -> ScenarioSpec:
+                return tiny_spec(name)
+
+        # Same factory re-registered (module reimport) is fine.
+        registry.register(RegisteredScenario(name=name, factory=first))
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(UnknownScenarioError) as exc:
+            registry.get("no-such-scenario")
+        assert "cotenancy-demo" in str(exc.value)
+
+    def test_factory_must_return_a_spec(self, scratch_registration):
+        name = scratch_registration
+
+        @scenario(name)
+        def bad() -> ScenarioSpec:
+            return {"name": name}  # type: ignore[return-value]
+
+        with pytest.raises(TypeError):
+            registry.get(name).spec()
+
+
+class TestCatalog:
+    def test_builtins_discovered(self):
+        assert BUILTINS <= set(registry.names())
+
+    def test_tag_filtering(self):
+        assert "chaos-fate-sharing" in registry.names(tag="faults")
+        assert "cotenancy-demo" not in registry.names(tag="faults")
+        assert registry.names(tag="no-such-tag") == []
+
+    def test_entries_sorted_by_name(self):
+        names = [e.name for e in registry.entries()]
+        assert names == sorted(names)
+
+    def test_every_builtin_spec_builds(self):
+        for name in BUILTINS:
+            spec = registry.get(name).spec()
+            assert spec.name == name
+            assert isinstance(spec.seed, int)
+
+
+class TestRun:
+    def test_run_generic_pipeline(self, scratch_registration):
+        name = scratch_registration
+
+        @scenario(name)
+        def factory() -> ScenarioSpec:
+            return tiny_spec(name)
+
+        outputs = registry.run(name, quick=True)
+        assert outputs["scenario"] == name
+        assert outputs["packets_completed"] == 2
+
+    def test_run_custom_driver_gets_options(self, scratch_registration):
+        name = scratch_registration
+        seen = {}
+
+        def driver(spec, *, quick=False, **options):
+            seen.update(options, quick=quick, spec=spec.name)
+            return {"ok": True}
+
+        @scenario(name, driver=driver)
+        def factory() -> ScenarioSpec:
+            return tiny_spec(name)
+
+        outputs = registry.run(name, quick=True, out_path="x.json")
+        assert outputs == {"ok": True}
+        assert seen == {"quick": True, "out_path": "x.json", "spec": name}
+
+    def test_run_headline_overheads(self):
+        outputs = registry.run("headline-overheads", quick=True)
+        assert outputs["area_overhead_pct"] == pytest.approx(8.89, abs=0.5)
