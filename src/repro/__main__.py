@@ -32,7 +32,11 @@ Commands:
   radius is the faulty tenant on S-NIC and the device on commodity
   (``--quick`` for CI, ``--matrix`` for all twelve classes,
   ``--seed N`` for a replayable schedule)
-* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC007) over
+* ``postmortem`` — inspect a forensics bundle dropped by ``chaos`` or
+  ``matrix`` (``--postmortem-dir``): pretty-print the flight-recorder
+  tail and audit excerpt, ``--verify`` the sha256 hash chain, or
+  ``--diff`` two bundles field by field
+* ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC008) over
   the source tree (``--format text|json|github``)
 * ``sanitize`` — determinism checker: run the co-tenancy demo twice
   and fail on event-stream digest divergence
@@ -59,8 +63,10 @@ _COMMANDS = {
     "audit": "isolation scorecard: solo-vs-co-tenant differential per "
              "shared resource (--quick)",
     "chaos": "fault-injection blast-radius differential, commodity vs "
-             "S-NIC (--quick, --matrix, --seed N)",
-    "lint": "S-NIC-specific static analysis SNIC001-SNIC007 "
+             "S-NIC (--quick, --matrix, --seed N, --postmortem-dir DIR)",
+    "postmortem": "inspect a forensics bundle: pretty-print, --verify "
+                  "the hash chain, --diff two bundles",
+    "lint": "S-NIC-specific static analysis SNIC001-SNIC008 "
             "(--format text|json|github)",
     "sanitize": "determinism checker: same seed must give the same "
                 "event-stream digest",
@@ -75,7 +81,8 @@ def _info() -> None:
     print("subpackages:", ", ".join(repro.__all__))
     print()
     print("commands: python -m repro "
-          "[info|report|attacks|trace|matrix|bench|audit|chaos|lint|sanitize]")
+          "[info|report|attacks|trace|matrix|bench|audit|chaos|postmortem|"
+          "lint|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
     print("matrix:   python -m repro matrix [--quick] [--seed N] "
@@ -83,7 +90,9 @@ def _info() -> None:
     print("audit:    python -m repro audit [--quick] "
           "[--format text|json|markdown] [--out PATH]")
     print("chaos:    python -m repro chaos [--seed N] [--matrix] [--quick] "
-          "[--format text|json|markdown]")
+          "[--format text|json|markdown] [--postmortem-dir DIR]")
+    print("forensics: python -m repro postmortem BUNDLE "
+          "[--verify] [--diff OTHER] [--tail N]")
     print("analysis: python -m repro lint [--format github]; "
           "python -m repro sanitize")
     print()
@@ -282,6 +291,10 @@ def main(argv: list) -> int:
         from repro.faults.chaos import main as chaos_main
 
         return chaos_main(argv[2:])
+    elif command == "postmortem":
+        from repro.obs.postmortem import main as postmortem_main
+
+        return postmortem_main(argv[2:])
     elif command == "lint":
         from repro.analysis.lint import main as lint_main
 

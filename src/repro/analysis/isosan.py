@@ -41,6 +41,9 @@ _Method = Callable[..., Any]
 
 from repro.core.errors import IsolationViolation
 from repro.hw.memory import FREE, PhysicalMemory
+from repro.obs.auditlog import get_emitter
+
+_AUDIT = get_emitter()
 
 
 class _Interposer:
@@ -246,6 +249,9 @@ class IsoSan:
 
     def _violation(self, message: str) -> None:
         self.violations.append(message)
+        if _AUDIT.active:
+            _AUDIT.emit("isosan.violation",
+                        tenant=self.current_tenant(), message=message)
         raise IsolationViolation(f"IsoSan: {message}")
 
     def _check_access(self, mem: PhysicalMemory, addr: int,

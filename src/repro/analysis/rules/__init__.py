@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Type
 
 from repro.analysis.lint import Rule
+from repro.analysis.rules.audit_trail import AuditTrailRule
 from repro.analysis.rules.chaos_seed import ChaosSeedRule
 from repro.analysis.rules.isolation import IsolationBypassRule
 from repro.analysis.rules.nondeterminism import (
@@ -29,6 +30,7 @@ _RULE_CLASSES: List[Type[Rule]] = [
     FloatSimTimeRule,
     ChaosSeedRule,
     ScenarioSeedRule,
+    AuditTrailRule,
 ]
 
 

@@ -30,6 +30,21 @@ from repro.crypto.keys import (
     quote_digest,
 )
 from repro.crypto.rsa import RSAPublicKey, rsa_verify
+from repro.obs.auditlog import get_emitter
+
+_AUDIT = get_emitter()
+
+
+def _reject(reason: str) -> None:
+    """Record the failed verdict in the audit chain, then raise.
+
+    Keeping the emit and the raise in one helper guarantees every
+    rejection path is witnessed (lint rule SNIC008 checks for exactly
+    this pairing).
+    """
+    if _AUDIT.active:
+        _AUDIT.emit("attest.verdict", ok=False, reason=reason)
+    raise AttestationError(reason)
 
 
 def _encode_int(value: int) -> bytes:
@@ -92,29 +107,30 @@ class Verifier:
     ) -> None:
         """Step 4's checks; raises :class:`AttestationError` on failure."""
         if quote.nonce not in self._outstanding:
-            raise AttestationError("unknown or replayed nonce")
+            _reject("unknown or replayed nonce")
         # Chain: vendor CA -> EK certificate -> AK endorsement -> quote.
         if not quote.ek_certificate.verify(self.vendor_public):
-            raise AttestationError("EK certificate not signed by the vendor CA")
+            _reject("EK certificate not signed by the vendor CA")
         ek_public = quote.ek_certificate.subject_key
         endorsement_ok = _verify_ak_endorsement(
             ek_public, quote.ak_public, quote.ak_endorsement
         )
         if not endorsement_ok:
-            raise AttestationError("AK not endorsed by the certified EK")
+            _reject("AK not endorsed by the certified EK")
         message = quote_message(
             quote.state_hash, quote.params, quote.nonce, quote.gx
         )
         if not rsa_verify(quote.ak_public, message, quote.signature):
-            raise AttestationError("quote signature invalid")
+            _reject("quote signature invalid")
         if (
             expected_state_hash is not None
             and quote.state_hash != expected_state_hash
         ):
-            raise AttestationError(
-                "function state hash does not match the expected image"
-            )
+            _reject("function state hash does not match the expected image")
         self._outstanding.discard(quote.nonce)  # one-shot: prevents replay
+        if _AUDIT.active:
+            _AUDIT.emit("attest.verdict", ok=True,
+                        state_hash=quote.state_hash.hex())
 
     def complete_exchange(
         self, quote: AttestationQuote, expected_state_hash: Optional[bytes] = None

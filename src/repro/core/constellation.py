@@ -29,6 +29,9 @@ from repro.core.virtual_nic import VirtualNIC
 from repro.crypto.dh import DEFAULT_DH_PARAMS, DHParams, xor_stream_encrypt
 from repro.crypto.keys import AttestationKey, EndorsementKey, VendorCA
 from repro.crypto.sha256 import sha256
+from repro.obs.auditlog import get_emitter
+
+_AUDIT = get_emitter()
 
 
 class SGXEnclave:
@@ -187,9 +190,15 @@ class Constellation:
             a=a, b=b, key_at_a=channel_key_at_a, key_at_b=channel_key_at_b
         )
         if not channel.established:
+            if _AUDIT.active:
+                _AUDIT.emit("attest.verdict", ok=False,
+                            reason="key agreement failed", peer_a=a,
+                            peer_b=b)
             raise AttestationError("key agreement failed")
         self.channels[(a, b)] = channel
         self.channels[(b, a)] = channel
+        if _AUDIT.active:
+            _AUDIT.emit("attest.channel", peer_a=a, peer_b=b)
         return channel
 
     def send(self, src: str, dst: str, plaintext: bytes) -> bytes:
@@ -200,6 +209,10 @@ class Constellation:
         """
         channel = self.channels.get((src, dst))
         if channel is None:
+            if _AUDIT.active:
+                _AUDIT.emit("attest.verdict", ok=False,
+                            reason="no attested channel", peer_a=src,
+                            peer_b=dst)
             raise AttestationError(
                 f"no attested channel between {src!r} and {dst!r}"
             )

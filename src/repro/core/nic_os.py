@@ -23,6 +23,9 @@ from repro.core.snic import NFConfig, SNIC
 from repro.core.virtual_nic import VirtualNIC
 from repro.hw.memory import HostMemory
 from repro.hw.mmu import PageTable
+from repro.obs.auditlog import get_emitter
+
+_AUDIT = get_emitter()
 
 
 class NICOS:
@@ -97,6 +100,10 @@ class NICOS:
         last = (paddr + max(size, 1) - 1) // page_size
         for page in range(first, last + 1):
             if not self.snic.denylist.check_page(page):
+                if _AUDIT.active:
+                    _AUDIT.emit("denylist.blocked", op="os_access",
+                                page=page,
+                                owner=self.snic.memory.owner_of(page))
                 raise IsolationViolation(
                     f"management core blocked: physical page {page} belongs "
                     "to a live network function (denylisted)"
@@ -110,6 +117,10 @@ class NICOS:
         new mapping to walk the denylist page table" (§4.2).
         """
         if not self.snic.denylist.check_page(ppage):
+            if _AUDIT.active:
+                _AUDIT.emit("denylist.blocked", op="tlb_update",
+                            page=ppage,
+                            owner=self.snic.memory.owner_of(ppage))
             raise IsolationViolation(
                 f"trusted hardware rejected TLB update: physical page "
                 f"{ppage} is denylisted"

@@ -44,9 +44,11 @@ from repro.hw.memory import PhysicalMemory
 from repro.hw.mmu import DenylistPageTable, TLBEntry
 from repro.hw.packet_io import RXPort, TXPort
 from repro.net.packet import Packet
+from repro.obs.auditlog import get_emitter
 from repro.obs.tracer import get_tracer
 
 _TRACER = get_tracer()
+_AUDIT = get_emitter()
 
 _DESC_BYTES = 16
 
@@ -291,6 +293,11 @@ class SNIC:
 
         launch_ms = self.timing.nf_launch_ms(extent_bytes)
         self.instruction_log.append(("nf_launch", nf_id, launch_ms))
+        if _AUDIT.active:
+            _AUDIT.emit("lifecycle.launch", tenant=nf_id, name=config.name,
+                        pages=len(pages), extent_bytes=extent_bytes,
+                        cores=list(config.core_ids),
+                        state_hash=state_hash.hex())
         if _TRACER.enabled:
             # Lifecycle span with the instruction-latency model's
             # duration, so launches appear to scale with extent size.
@@ -457,6 +464,9 @@ class SNIC:
         )
         attest_ms = self.timing.nf_attest_ms()
         self.instruction_log.append(("nf_attest", nf_id, attest_ms))
+        if _AUDIT.active:
+            _AUDIT.emit("attest.quote", tenant=nf_id,
+                        state_hash=record.state_hash.hex())
         if _TRACER.enabled:
             _TRACER.complete("nf_attest", _TRACER.now(), attest_ms * 1e6,
                              tenant=nf_id, track="snic-lifecycle",
@@ -488,6 +498,10 @@ class SNIC:
         self._rebuild_bus()
         destroy_ms = self.timing.nf_destroy_ms(record.extent_bytes)
         self.instruction_log.append(("nf_teardown", nf_id, destroy_ms))
+        if _AUDIT.active:
+            _AUDIT.emit("lifecycle.teardown", tenant=nf_id,
+                        pages=len(record.pages),
+                        extent_bytes=record.extent_bytes)
         if _TRACER.enabled:
             _TRACER.complete("nf_teardown", _TRACER.now(), destroy_ms * 1e6,
                              tenant=nf_id, track="snic-lifecycle",

@@ -41,7 +41,15 @@ from repro.faults.recovery import (
     Watchdog,
     retry_dma,
 )
+from repro.core.errors import (
+    IsolationViolation,
+    RecoveryExhausted,
+    WatchdogTimeout,
+)
+from repro.obs import auditlog as auditlog_mod
+from repro.obs import flight as flight_mod
 from repro.obs import metrics as metrics_mod
+from repro.obs import postmortem as postmortem_mod
 from repro.obs.interference import blame_matrix, cross_tenant_wait_ns
 from repro.obs.metrics import get_registry
 
@@ -708,15 +716,53 @@ _WORKLOADS: Dict[FaultKind, _Workload] = {
 # ----------------------------------------------------------------------
 
 
-def _differential(kind: FaultKind, seed: int,
-                  rounds: int) -> Dict[str, object]:
+def _chaos_bundle_name(kind: FaultKind, seed: int) -> str:
+    return f"chaos-{kind.value}-snic-s{seed}"
+
+
+def _write_chaos_bundle(directory: str, kind: FaultKind, seed: int,
+                        reason: object) -> str:
+    """Assemble a forensics bundle from the just-finished faulted S-NIC
+    leg's live state (must run *before* the next metrics reset)."""
+    spec = _crash_spec(seed) if kind is FaultKind.NF_CRASH else None
+    bundle = postmortem_mod.build_bundle(reason=reason, spec=spec)
+    return postmortem_mod.write_bundle(
+        bundle,
+        postmortem_mod.bundle_path(directory, _chaos_bundle_name(kind, seed)))
+
+
+def _differential(kind: FaultKind, seed: int, rounds: int,
+                  postmortem_dir: Optional[str] = None
+                  ) -> Tuple[Dict[str, object], List[str]]:
     workload = _WORKLOADS[kind]
     entry: Dict[str, object] = {}
+    bundles: List[str] = []
     for label, snic in (("commodity", False), ("snic", True)):
         metrics_mod.reset()
         clean, _ = workload(snic, False, seed, rounds)
         metrics_mod.reset()
-        faulted, info = workload(snic, True, seed, rounds)
+        # Forensics are armed only around the faulted S-NIC leg: the
+        # injected fault is the incident under investigation, and the
+        # clean/commodity legs must stay byte-identical to a run with
+        # no --postmortem-dir at all.
+        forensic = postmortem_dir is not None and snic
+        if forensic:
+            flight_mod.reset()
+            auditlog_mod.reset()
+            auditlog_mod.enable_audit_log()
+            flight_mod.enable_flight_recording()
+        try:
+            faulted, info = workload(snic, True, seed, rounds)
+        except (IsolationViolation, WatchdogTimeout,
+                RecoveryExhausted) as exc:
+            # A genuine containment failure: capture the crime scene
+            # before the exception unwinds the harness.
+            if forensic:
+                bundles.append(_write_chaos_bundle(
+                    postmortem_dir, kind, seed, exc))
+                flight_mod.reset()
+                auditlog_mod.reset()
+            raise
         matrix = blame_matrix(get_registry())
         disruption = {key: faulted[key] - clean[key]
                       for key in sorted(clean)}
@@ -729,17 +775,31 @@ def _differential(kind: FaultKind, seed: int,
             "cross_tenant_wait_ns": float(cross_tenant_wait_ns(matrix)),
             "info": {key: info[key] for key in sorted(info)},
         }
-    return entry
+        if forensic:
+            bundles.append(_write_chaos_bundle(
+                postmortem_dir, kind, seed,
+                {"kind": "FaultInjected",
+                 "message": f"{kind.value} injected into tenant {FAULTY} "
+                            f"(seed {seed})"}))
+            flight_mod.reset()
+            auditlog_mod.reset()
+    return entry, bundles
 
 
 def run_chaos(seed: int = 0, quick: bool = False, matrix: bool = False,
-              kinds: Optional[Sequence[str]] = None) -> Dict[str, object]:
+              kinds: Optional[Sequence[str]] = None,
+              postmortem_dir: Optional[str] = None) -> Dict[str, object]:
     """Run the blast-radius experiment; returns the report dict.
 
     ``matrix`` sweeps the full fault taxonomy; the default covers the
     headline kinds.  Every workload runs inside one IsoSan
     ``sanitized()`` scope with the injector installed strictly inside
     it, and all randomness flows from ``seed``.
+
+    ``postmortem_dir`` arms the forensic layer around every faulted
+    S-NIC leg and drops one deterministic ``POSTMORTEM_*.json`` bundle
+    per fault class there (plus a crash bundle if a containment failure
+    actually escapes) — same seed, byte-identical bundles.
     """
     from repro.analysis.isosan import get_isosan, sanitized
 
@@ -760,11 +820,19 @@ def run_chaos(seed: int = 0, quick: bool = False, matrix: bool = False,
         "tenants": {"victim": VICTIM, "faulty": FAULTY},
         "kinds": {},
     }
+    bundles: List[str] = []
     with sanitized():
         report["isosan_active"] = get_isosan().installed
         for kind in selected:
-            report["kinds"][kind.value] = _differential(kind, seed, rounds)
+            entry, kind_bundles = _differential(
+                kind, seed, rounds, postmortem_dir=postmortem_dir)
+            report["kinds"][kind.value] = entry
+            bundles.extend(kind_bundles)
     metrics_mod.reset()
+    if postmortem_dir is not None:
+        report["postmortem"] = {
+            "bundles": sorted(path.rsplit("/", 1)[-1]
+                              for path in bundles)}
 
     reasons: List[str] = []
     for kind_name in sorted(report["kinds"]):
@@ -888,13 +956,22 @@ def main(argv: Optional[Sequence[str]] = None,
                         default="text")
     parser.add_argument("-o", "--out", default=None,
                         help="also write the rendered report to this file")
+    parser.add_argument("--postmortem-dir", default=None,
+                        help="write one POSTMORTEM_*.json forensics "
+                             "bundle per faulted S-NIC leg to this "
+                             "directory (inspect with `repro postmortem`)")
     args = parser.parse_args(argv)
     out = stream if stream is not None else sys.stdout
 
     report = run_chaos(seed=args.seed, quick=args.quick,
-                       matrix=args.matrix, kinds=args.kinds)
+                       matrix=args.matrix, kinds=args.kinds,
+                       postmortem_dir=args.postmortem_dir)
     rendered = _FORMATTERS[args.format](report)
     out.write(rendered)
+    if args.postmortem_dir is not None:
+        names = report.get("postmortem", {}).get("bundles", [])
+        out.write(f"{len(names)} post-mortem bundle(s) written to "
+                  f"{args.postmortem_dir}\n")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(rendered)

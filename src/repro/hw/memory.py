@@ -19,8 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs.auditlog import get_emitter
+
 #: Owner tag for pages not allocated to any network function.
 FREE = None
+
+_AUDIT = get_emitter()
 
 
 class AccessFault(Exception):
@@ -126,6 +130,9 @@ class PhysicalMemory:
             info.owner = FREE
             info.denylisted = False
             released += 1
+        if _AUDIT.active:
+            _AUDIT.emit("memory.scrub", tenant=owner, pages=released,
+                        scrubbed=bool(scrub))
         return released
 
     def zero_page(self, page_index: int) -> None:

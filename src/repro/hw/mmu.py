@@ -23,6 +23,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.hw.memory import AccessFault, PhysicalMemory
+from repro.obs.auditlog import get_emitter
+
+_AUDIT = get_emitter()
 
 
 class TLBMiss(Exception):
@@ -109,17 +112,28 @@ class TLB:
                     f"{self.name}: entry overlaps existing virtual range"
                 )
         self._entries.append(entry)
+        if _AUDIT.active:
+            _AUDIT.emit("tlb.install", bank=self.name, vbase=entry.vbase,
+                        pbase=entry.pbase, size=entry.size,
+                        writable=entry.writable)
 
     def lock(self) -> None:
         """Make the bank read-only (the end of ``nf_launch``)."""
         self._locked = True
+        if _AUDIT.active:
+            _AUDIT.emit("tlb.lock", bank=self.name,
+                        entries=len(self._entries))
 
     def clear(self, force: bool = False) -> None:
         """Drop all entries.  Only trusted teardown may clear a locked bank."""
         if self._locked and not force:
             raise TLBLockedError(f"{self.name}: locked bank requires force-clear")
+        dropped = len(self._entries)
         self._entries.clear()
         self._locked = False
+        if _AUDIT.active:
+            _AUDIT.emit("tlb.clear", bank=self.name, forced=bool(force),
+                        dropped=dropped)
 
     def translate(self, vaddr: int, write: bool = False) -> int:
         """Translate ``vaddr``; raises :class:`TLBMiss` / :class:`AccessFault`."""

@@ -35,6 +35,19 @@ hot layer:
 * :mod:`repro.obs.audit` — ``python -m repro audit``: the
   solo-vs-co-tenant isolation scorecard (interference matrices,
   slowdown deltas, side-channel capacities, noninterference verdict).
+* :mod:`repro.obs.flight` — the flight recorder: a bounded,
+  sim-time-windowed ring of recent audit events, mirrored trace
+  events, and metric deltas; strictly no-op when disabled.
+* :mod:`repro.obs.auditlog` — an append-only, sha256 hash-chained
+  audit log of security-relevant events (attestation verdicts, page
+  scrubs, TLB installs, cross-tenant denials, faults, recovery
+  actions); flipping any serialized byte breaks the chain at a
+  reported index.
+* :mod:`repro.obs.postmortem` — forensics bundles assembled on
+  isolation violations / watchdog timeouts / recovery exhaustion
+  (flight tail, audit excerpt + chain head, metrics snapshot,
+  interference attribution, active ScenarioSpec), plus the
+  ``python -m repro postmortem`` pretty-print/verify/diff CLI.
 
 Quickstart::
 
@@ -50,7 +63,24 @@ or run the packaged co-tenancy demo end to end::
     python -m repro trace -o snic_trace.json
 """
 
+from repro.obs.auditlog import (
+    GENESIS,
+    AuditEmitter,
+    AuditLog,
+    disable_audit_log,
+    enable_audit_log,
+    get_audit_log,
+    get_emitter,
+    verify_records,
+)
 from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.flight import (
+    FlightEntry,
+    FlightRecorder,
+    disable_flight_recording,
+    enable_flight_recording,
+    get_flight_recorder,
+)
 from repro.obs.interference import (
     InterferenceAccountant,
     blame_matrix,
@@ -75,6 +105,13 @@ from repro.obs.metrics import (
     instance_label,
 )
 from repro.obs.metrics import reset as reset_metrics
+from repro.obs.postmortem import (
+    build_bundle,
+    diff_bundles,
+    load_bundle,
+    verify_bundle,
+    write_bundle,
+)
 from repro.obs.profile import Profiler, profile_cotenancy_scenario
 from repro.obs.timeseries import Series, TimeSeriesSampler, sample_function
 from repro.obs.tracer import (
@@ -87,7 +124,12 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AuditEmitter",
+    "AuditLog",
     "Counter",
+    "FlightEntry",
+    "FlightRecorder",
+    "GENESIS",
     "Gauge",
     "Histogram",
     "InterferenceAccountant",
@@ -99,22 +141,35 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "blame_matrix",
+    "build_bundle",
     "cross_tenant_events",
     "cross_tenant_wait_ns",
+    "diff_bundles",
+    "disable_audit_log",
+    "disable_flight_recording",
     "disable_tracing",
+    "enable_audit_log",
+    "enable_flight_recording",
     "enable_tracing",
     "format_matrix",
     "format_metrics_table",
     "get_accountant",
+    "get_audit_log",
+    "get_emitter",
+    "get_flight_recorder",
     "get_registry",
     "get_tracer",
     "instance_label",
+    "load_bundle",
     "metrics_rows",
     "metrics_to_csv",
     "profile_cotenancy_scenario",
     "reset_metrics",
     "sample_function",
     "to_chrome_trace",
+    "verify_bundle",
+    "verify_records",
+    "write_bundle",
     "write_chrome_trace",
     "write_metrics_csv",
     "write_metrics_json",

@@ -125,7 +125,7 @@ class BenchRecord:
 def _isolate() -> None:
     """Reset every piece of process-global observability state."""
     from repro.hw import events as hw_events
-    from repro.obs import metrics, tracer
+    from repro.obs import auditlog, flight, metrics, tracer
 
     metrics.reset()
     hw_events.reset_kernel_stats()
@@ -133,6 +133,9 @@ def _isolate() -> None:
     t.disable()
     t.use_clock(None)
     t.clear()
+    t.mirror = None
+    flight.reset()
+    auditlog.reset()
 
 
 def run_scenario(path: Path, quick: bool = False,

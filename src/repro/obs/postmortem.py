@@ -1,0 +1,301 @@
+"""Deterministic post-mortem forensics bundles.
+
+When an :class:`~repro.core.errors.IsolationViolation`,
+:class:`~repro.core.errors.WatchdogTimeout`, or
+:class:`~repro.core.errors.RecoveryExhausted` fires — or a chaos run
+injects a fault into a cell — the harness assembles one JSON bundle
+holding everything an investigator needs to reconstruct the incident:
+
+* ``reason`` — the triggering exception (or injected-fault note);
+* ``scenario`` — the active :class:`~repro.scenario.spec.ScenarioSpec`
+  (``to_dict()``) plus its seed, so the incident replays exactly;
+* ``flight`` — the flight-recorder tail (recent spans/events/metric
+  deltas in the sim-time window before the failure);
+* ``audit`` — the audit-log tail with each record's embedded ``prev``
+  pointer plus the chain head, so the excerpt *self-verifies*: any
+  tampered byte in the serialized bundle breaks a link and
+  ``python -m repro postmortem BUNDLE --verify`` exits nonzero;
+* ``metrics`` — the full registry snapshot at failure time;
+* ``interference`` — the per-tenant blame matrix flattened to sorted
+  JSON rows plus the headline cross-tenant wait.
+
+Bundles are pure functions of the seed: no wall-clock reads, sorted
+keys, sorted rows — two same-seed chaos runs produce byte-identical
+files and CI ``cmp``s them (lint rule SNIC008 additionally forbids wall
+clocks anywhere in flight/postmortem scope).
+
+CLI::
+
+    python -m repro postmortem BUNDLE            # pretty-print
+    python -m repro postmortem BUNDLE --verify   # exit 1 on tampering
+    python -m repro postmortem BUNDLE --diff B2  # field-level diff
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.obs import auditlog as auditlog_mod
+from repro.obs import flight as flight_mod
+from repro.obs import metrics as metrics_mod
+from repro.obs.interference import blame_matrix, cross_tenant_wait_ns
+
+SCHEMA = "repro.postmortem"
+SCHEMA_VERSION = 1
+
+#: Default number of flight entries / audit records kept in a bundle.
+DEFAULT_TAIL = 64
+
+
+def _reason_dict(reason: Any) -> Dict[str, Any]:
+    """Normalize the trigger into ``{"kind", "message"}``."""
+    if isinstance(reason, dict):
+        return {"kind": str(reason.get("kind", "unknown")),
+                "message": str(reason.get("message", ""))}
+    if isinstance(reason, BaseException):
+        return {"kind": type(reason).__name__, "message": str(reason)}
+    return {"kind": "note", "message": str(reason)}
+
+
+def _interference_rows(
+        matrix: Dict[str, Dict[Any, Dict[str, float]]]
+) -> List[Dict[str, Any]]:
+    """Flatten the blame matrix's tuple-keyed cells into sorted,
+    JSON-able rows."""
+    rows = []
+    for resource in sorted(matrix):
+        for (victim, culprit) in sorted(matrix[resource]):
+            cell = matrix[resource][(victim, culprit)]
+            rows.append({
+                "resource": resource,
+                "tenant": victim,
+                "culprit": culprit,
+                "wait_ns": cell.get("wait_ns", 0.0),
+                "events": cell.get("events", 0.0),
+            })
+    return rows
+
+
+def build_bundle(*, reason: Any,
+                 spec: Any = None,
+                 flight: Optional["flight_mod.FlightRecorder"] = None,
+                 audit: Optional["auditlog_mod.AuditLog"] = None,
+                 registry: Optional[Any] = None,
+                 tail: int = DEFAULT_TAIL) -> Dict[str, Any]:
+    """Assemble a deterministic forensics bundle from live state."""
+    flight = flight or flight_mod.get_flight_recorder()
+    audit = audit or auditlog_mod.get_audit_log()
+    registry = registry or metrics_mod.get_registry()
+    matrix = blame_matrix(registry)
+    audit_tail = audit.tail(tail)
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "reason": _reason_dict(reason),
+        "scenario": spec.to_dict() if spec is not None else None,
+        "seed": getattr(spec, "seed", None),
+        "flight": {
+            "capacity": flight.capacity,
+            "window_ns": flight.window_ns,
+            "n_entries": len(flight),
+            "entries": flight.tail(tail),
+        },
+        "audit": {
+            "genesis": auditlog_mod.GENESIS,
+            "n_records": len(audit),
+            "chain_head": audit.head(),
+            "records": audit_tail,
+        },
+        "metrics": registry.snapshot(),
+        "interference": {
+            "cross_tenant_wait_ns": cross_tenant_wait_ns(matrix),
+            "rows": _interference_rows(matrix),
+        },
+    }
+
+
+def write_bundle(bundle: Dict[str, Any], path: str) -> str:
+    """Serialize a bundle deterministically (sorted keys, trailing
+    newline) so same-seed bundles are byte-identical."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bundle(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def bundle_path(directory: str, name: str) -> str:
+    """The canonical on-disk name for a bundle (gitignored pattern)."""
+    return f"{directory}/POSTMORTEM_{name}.json"
+
+
+def verify_bundle(bundle: Dict[str, Any]) -> List[str]:
+    """Check a bundle's integrity; return a list of problems (empty
+    means the bundle verifies)."""
+    problems: List[str] = []
+    if bundle.get("schema") != SCHEMA:
+        problems.append(
+            f"unexpected schema {bundle.get('schema')!r} "
+            f"(want {SCHEMA!r})")
+        return problems
+    audit = bundle.get("audit")
+    if not isinstance(audit, dict):
+        problems.append("missing audit section")
+        return problems
+    records = audit.get("records", [])
+    # The tail's first record may sit mid-chain, so trust its embedded
+    # prev pointer (anchor=None) — every subsequent link must hold.
+    bad = auditlog_mod.verify_records(records, anchor=None)
+    if bad is not None:
+        problems.append(
+            f"audit chain broken at tail index {bad} "
+            f"(seq {records[bad].get('seq', '?')})"
+            if isinstance(records[bad], dict)
+            else f"audit chain broken at tail index {bad}")
+    if records:
+        last = records[-1]
+        head = audit.get("chain_head")
+        if isinstance(last, dict) and last.get("hash") != head:
+            problems.append(
+                "chain head does not match the last record's hash")
+    elif audit.get("chain_head") != audit.get("genesis"):
+        problems.append(
+            "empty audit tail but chain head differs from genesis")
+    return problems
+
+
+def diff_bundles(a: Dict[str, Any], b: Dict[str, Any],
+                 prefix: str = "") -> List[str]:
+    """Recursive field-level diff; returns ``path: a != b`` lines."""
+    diffs: List[str] = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in a:
+                diffs.append(f"{path}: only in second bundle")
+            elif key not in b:
+                diffs.append(f"{path}: only in first bundle")
+            else:
+                diffs.extend(diff_bundles(a[key], b[key], path))
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            diffs.append(f"{prefix}: length {len(a)} != {len(b)}")
+        for index, (va, vb) in enumerate(zip(a, b)):
+            diffs.extend(diff_bundles(va, vb, f"{prefix}[{index}]"))
+    elif a != b:
+        diffs.append(f"{prefix}: {a!r} != {b!r}")
+    return diffs
+
+
+def format_bundle(bundle: Dict[str, Any], *,
+                  tail: int = 10) -> str:
+    """A human-oriented text rendering of a bundle."""
+    lines: List[str] = []
+    reason = bundle.get("reason", {})
+    lines.append(f"post-mortem bundle (schema {bundle.get('schema')} "
+                 f"v{bundle.get('schema_version')})")
+    lines.append(f"reason: {reason.get('kind')}: "
+                 f"{reason.get('message')}")
+    scenario = bundle.get("scenario")
+    if scenario:
+        lines.append(f"scenario: {scenario.get('name', '?')} "
+                     f"(seed {bundle.get('seed')})")
+    else:
+        lines.append("scenario: (none attached)")
+    audit = bundle.get("audit", {})
+    records = audit.get("records", [])
+    lines.append(f"audit: {audit.get('n_records', 0)} records, "
+                 f"head {str(audit.get('chain_head', ''))[:16]}…, "
+                 f"tail of {len(records)}:")
+    for record in records[-tail:]:
+        detail = json.dumps(record.get("detail", {}), sort_keys=True)
+        lines.append(
+            f"  [{record.get('seq'):>4}] ts={record.get('ts_ns')} "
+            f"{record.get('kind')} tenant={record.get('tenant')} "
+            f"{detail}")
+    flight = bundle.get("flight", {})
+    entries = flight.get("entries", [])
+    lines.append(f"flight: {flight.get('n_entries', 0)} entries "
+                 f"(capacity {flight.get('capacity')}, window "
+                 f"{flight.get('window_ns')}), tail of {len(entries)}:")
+    for entry in entries[-tail:]:
+        lines.append(
+            f"  ts={entry.get('ts_ns')} {entry.get('kind')} "
+            f"{entry.get('name')} tenant={entry.get('tenant')}")
+    interference = bundle.get("interference", {})
+    lines.append(f"interference: cross_tenant_wait_ns="
+                 f"{interference.get('cross_tenant_wait_ns')}")
+    for row in interference.get("rows", [])[:tail]:
+        lines.append(
+            f"  {row['resource']}: victim={row['tenant']} "
+            f"culprit={row['culprit']} wait_ns={row['wait_ns']} "
+            f"events={row['events']}")
+    lines.append(f"metrics: {len(bundle.get('metrics', []))} samples")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None,
+         stream: Optional[TextIO] = None) -> int:
+    """``python -m repro postmortem`` entry point."""
+    stream = stream or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro postmortem",
+        description="Inspect, verify, or diff post-mortem forensics "
+                    "bundles written by `repro chaos`/`repro matrix`.")
+    parser.add_argument("bundle", help="path to a POSTMORTEM_*.json")
+    parser.add_argument("--verify", action="store_true",
+                        help="verify the audit hash chain and bundle "
+                             "integrity; exit 1 on any problem")
+    parser.add_argument("--diff", metavar="OTHER",
+                        help="diff against a second bundle; exit 1 if "
+                             "they differ")
+    parser.add_argument("--tail", type=int, default=10,
+                        help="how many tail rows to pretty-print "
+                             "(default 10)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    args = parser.parse_args(argv)
+
+    bundle = load_bundle(args.bundle)
+
+    if args.verify:
+        problems = verify_bundle(bundle)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=stream)
+            return 1
+        audit = bundle.get("audit", {})
+        print(f"OK: audit chain intact "
+              f"({len(audit.get('records', []))} records in tail, "
+              f"head {str(audit.get('chain_head', ''))[:16]}…)",
+              file=stream)
+        return 0
+
+    if args.diff:
+        other = load_bundle(args.diff)
+        diffs = diff_bundles(bundle, other)
+        if diffs:
+            for line in diffs:
+                print(line, file=stream)
+            print(f"{len(diffs)} differences", file=stream)
+            return 1
+        print("bundles are identical", file=stream)
+        return 0
+
+    if args.format == "json":
+        json.dump(bundle, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    else:
+        print(format_bundle(bundle, tail=args.tail), file=stream)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -106,18 +106,19 @@ class _Span:
     def __exit__(self, *exc: object) -> bool:
         tracer = self._tracer
         end = tracer.now()
-        tracer.events.append(
-            TraceEvent(
-                ph="X",
-                name=self.name,
-                ts_ns=self.start_ns,
-                dur_ns=max(0.0, end - self.start_ns),
-                tenant=self.tenant,
-                track=self.track,
-                cat=self.cat,
-                args=self.args,
-            )
+        event = TraceEvent(
+            ph="X",
+            name=self.name,
+            ts_ns=self.start_ns,
+            dur_ns=max(0.0, end - self.start_ns),
+            tenant=self.tenant,
+            track=self.track,
+            cat=self.cat,
+            args=self.args,
         )
+        tracer.events.append(event)
+        if tracer.mirror is not None:
+            tracer.mirror.record_trace(event)
         return False
 
 
@@ -130,6 +131,11 @@ class Tracer:
         self.events: List[TraceEvent] = []
         self._clock = clock
         self._tick = 0
+        #: Optional flight recorder receiving a copy of each recorded
+        #: event (set by ``repro.obs.flight.enable_flight_recording``).
+        #: Consulted only on the *enabled* path, so the zero-cost
+        #: disabled contract is untouched.
+        self.mirror: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -186,22 +192,24 @@ class Tracer:
         the simulators use: they already know start and completion)."""
         if not self.enabled:
             return
-        self.events.append(
-            TraceEvent(ph="X", name=name, ts_ns=ts_ns,
-                       dur_ns=max(0.0, dur_ns), tenant=tenant, track=track,
-                       cat=cat, args=args)
-        )
+        event = TraceEvent(ph="X", name=name, ts_ns=ts_ns,
+                           dur_ns=max(0.0, dur_ns), tenant=tenant,
+                           track=track, cat=cat, args=args)
+        self.events.append(event)
+        if self.mirror is not None:
+            self.mirror.record_trace(event)
 
     def instant(self, name: str, *, ts_ns: Optional[float] = None,
                 tenant: Optional[int] = None, track: str = "main",
                 cat: str = "sim", **args: Any) -> None:
         if not self.enabled:
             return
-        self.events.append(
-            TraceEvent(ph="i", name=name,
-                       ts_ns=self.now() if ts_ns is None else ts_ns,
-                       tenant=tenant, track=track, cat=cat, args=args)
-        )
+        event = TraceEvent(ph="i", name=name,
+                           ts_ns=self.now() if ts_ns is None else ts_ns,
+                           tenant=tenant, track=track, cat=cat, args=args)
+        self.events.append(event)
+        if self.mirror is not None:
+            self.mirror.record_trace(event)
 
     def counter_sample(self, name: str, value: float, *,
                        ts_ns: Optional[float] = None,
@@ -209,12 +217,13 @@ class Tracer:
                        cat: str = "sim") -> None:
         if not self.enabled:
             return
-        self.events.append(
-            TraceEvent(ph="C", name=name,
-                       ts_ns=self.now() if ts_ns is None else ts_ns,
-                       tenant=tenant, track=track, cat=cat,
-                       args={"value": value})
-        )
+        event = TraceEvent(ph="C", name=name,
+                           ts_ns=self.now() if ts_ns is None else ts_ns,
+                           tenant=tenant, track=track, cat=cat,
+                           args={"value": value})
+        self.events.append(event)
+        if self.mirror is not None:
+            self.mirror.record_trace(event)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -225,6 +225,13 @@ class BuiltScenario:
         self.nic_os = NICOS(self.snic)
         self.host_memory = HostMemory(2 * MB)
         self.host_window = DMAWindow(base=0, size=1 * MB)
+        # Runtime first: launch-time audit/flight records should land on
+        # the cell's simulated clock, not internal ticks.
+        self.runtime = SNICRuntime(
+            self.snic,
+            poll_interval_ns=topo.poll_interval_ns,
+            service_ns_per_packet=topo.service_ns_per_packet)
+        self._arm_observers()
         next_core = 0
         for tenant in self.spec.tenants:
             core_ids = tuple(range(next_core, next_core + tenant.cores))
@@ -242,10 +249,6 @@ class BuiltScenario:
             ))
             self.tenants[tenant.name] = vnic.nf_id
             self.vnics[tenant.name] = vnic
-        self.runtime = SNICRuntime(
-            self.snic,
-            poll_interval_ns=topo.poll_interval_ns,
-            service_ns_per_packet=topo.service_ns_per_packet)
         for tenant in self.spec.tenants:
             self.runtime.attach(
                 self.tenants[tenant.name],
@@ -272,7 +275,35 @@ class BuiltScenario:
         from repro.obs import tracer as tracer_mod
 
         tracer_mod.get_tracer().use_clock(None)
+        self._release_observers()
         self._deployed = False
+
+    def _arm_observers(self) -> None:
+        """Bind any armed flight recorder / audit log to this cell's
+        simulated clock (no-op when neither is enabled — the forensic
+        layer stays zero-cost unless a harness turned it on)."""
+        from repro.obs.auditlog import get_audit_log
+        from repro.obs.flight import get_flight_recorder
+
+        sim = self.runtime.sim
+        flight = get_flight_recorder()
+        if flight.enabled:
+            flight.use_clock(lambda: sim.now_ns)
+        audit = get_audit_log()
+        if audit.enabled:
+            audit.use_clock(lambda: sim.now_ns)
+
+    def _release_observers(self) -> None:
+        """Drop clock bindings into this (now dead) cell's simulator."""
+        from repro.obs.auditlog import get_audit_log
+        from repro.obs.flight import get_flight_recorder
+
+        flight = get_flight_recorder()
+        if flight.enabled:
+            flight.use_clock(None)
+        audit = get_audit_log()
+        if audit.enabled:
+            audit.use_clock(None)
 
     # -- derived pieces ------------------------------------------------
 

@@ -162,7 +162,8 @@ def cell_spec(cell: MatrixCell, quick: bool = False) -> ScenarioSpec:
 
 
 def run_cell(cell: MatrixCell, quick: bool = False,
-             sanitize: bool = False) -> "object":
+             sanitize: bool = False,
+             postmortem_dir: Optional[str] = None) -> "object":
     """Run one cell under full state isolation; never raises.
 
     Returns a :class:`repro.obs.bench.BenchRecord` — the matrix reuses
@@ -170,6 +171,11 @@ def run_cell(cell: MatrixCell, quick: bool = False,
     ``wall_s`` is deliberately left at ``0.0``: matrix reports must be
     byte-identical across same-seed runs, so no wall-clock value may
     land in them.
+
+    With ``postmortem_dir`` set, the flight recorder and audit log are
+    armed for the cell and any error drops a forensics bundle
+    (``POSTMORTEM_<cell>.json``) there before the trailing isolation
+    reset wipes the evidence.
     """
     import contextlib
 
@@ -186,15 +192,33 @@ def run_cell(cell: MatrixCell, quick: bool = False,
 
     record = BenchRecord(name=cell.name)
     _isolate()
+    forensic = postmortem_dir is not None
+    if forensic:
+        from repro.obs import auditlog as auditlog_mod
+        from repro.obs import flight as flight_mod
+
+        auditlog_mod.enable_audit_log()
+        flight_mod.enable_flight_recording()
     try:
         scope = sanitized() if sanitize else contextlib.nullcontext()
         with scope:
             with build_scenario(cell_spec(cell, quick=quick)) as built:
                 outputs = built.drive(quick=quick)
         record.outputs = jsonable(outputs)
-    except Exception:
+    except Exception as exc:
         record.status = "error"
         record.error = traceback.format_exc(limit=8)
+        if forensic:
+            from repro.obs import postmortem as postmortem_mod
+
+            bundle = postmortem_mod.build_bundle(
+                reason=exc, spec=cell_spec(cell, quick=quick),
+                flight=flight_mod.get_flight_recorder(),
+                audit=auditlog_mod.get_audit_log(),
+                registry=metrics.get_registry())
+            postmortem_mod.write_bundle(
+                bundle,
+                postmortem_mod.bundle_path(postmortem_dir, cell.name))
     finally:
         stats = hw_events.kernel_stats()
         record.sim_time_ns = stats["sim_ns_advanced"]
@@ -202,6 +226,9 @@ def run_cell(cell: MatrixCell, quick: bool = False,
         record.trace_events = len(tracer.get_tracer().events)
         record.metrics_instruments = len(metrics.get_registry())
         record.histograms = _histogram_percentiles(metrics.get_registry())
+        if forensic:
+            flight_mod.reset()
+            auditlog_mod.reset()
         _isolate()
     return record
 
@@ -257,13 +284,16 @@ def run_matrix(
     reps: int = 1,
     sanitize: bool = False,
     progress=None,
+    postmortem_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Sweep the matrix and build the report dict.
 
     ``only`` filters cells by name substring; ``progress`` is an
     optional callable invoked with each finished record.  The report
     is a pure function of the arguments — no timestamps, host names,
-    or wall times.
+    or wall times.  ``postmortem_dir`` arms per-cell forensics: any
+    error cell drops a ``POSTMORTEM_<cell>.json`` bundle there (the
+    report itself stays byte-identical either way).
     """
     axes = default_axes(quick=quick)
     cells = expand(axes, base_seed=seed, reps=reps)
@@ -273,7 +303,8 @@ def run_matrix(
     entries: List[Dict[str, object]] = []
     n_ok = n_error = 0
     for cell in cells:
-        record = run_cell(cell, quick=quick, sanitize=sanitize)
+        record = run_cell(cell, quick=quick, sanitize=sanitize,
+                          postmortem_dir=postmortem_dir)
         if record.status == "ok":
             n_ok += 1
         else:
@@ -412,13 +443,18 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     parser.add_argument("--sanitize", action="store_true",
                         help="run every cell under the IsoSan runtime "
                              "sanitizer (also via REPRO_ISOSAN=1)")
+    parser.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                        help="arm the flight recorder + audit log per cell "
+                             "and write POSTMORTEM_<cell>.json bundles for "
+                             "error cells into DIR")
     parser.add_argument("-o", "--out", default=None, metavar="PATH",
                         help="also write the rendered report to PATH")
     args = parser.parse_args(argv)
 
     sanitize = args.sanitize or enabled_by_env(default=False)
     report = run_matrix(quick=args.quick, only=args.only, seed=args.seed,
-                        reps=args.reps, sanitize=sanitize)
+                        reps=args.reps, sanitize=sanitize,
+                        postmortem_dir=args.postmortem_dir)
     rendered = _FORMATTERS[args.format](report)
     stream.write(rendered)
     if args.out:

@@ -9,7 +9,7 @@ from repro.core import NFConfig, NICOS, SNIC
 from repro.core.vpp import VPPConfig
 from repro.net.packet import Packet
 from repro.net.rules import MatchRule, Prefix
-from repro.obs import metrics
+from repro.obs import auditlog, flight, metrics
 
 MB = 1024 * 1024
 
@@ -54,6 +54,20 @@ def fresh_metrics_registry():
     metrics.reset()
     yield
     metrics.reset()
+
+
+@pytest.fixture(autouse=True)
+def fresh_forensics():
+    """Disable and clear the flight recorder and audit log around every
+    test.  Both are process-global singletons (the audit emitter holds
+    object references, so the reset clears in place); without this a
+    test that arms them would leak records — and hash-chain heads — into
+    every later test."""
+    flight.reset()
+    auditlog.reset()
+    yield
+    flight.reset()
+    auditlog.reset()
 
 
 @pytest.fixture

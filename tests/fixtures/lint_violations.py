@@ -13,6 +13,7 @@ sim = None
 tracer = None
 registry = None
 ScenarioSpec = None
+AttestationError = None
 
 PACKETS_SEEN = 0
 
@@ -91,3 +92,32 @@ def scenario_report_stamp(report):
     # timestamp and same-seed matrix reports stop being byte-identical.
     report["created"] = time.strftime("%Y-%m-%dT%H:%M:%SZ")
     return report
+
+
+def scrub_extent_quietly(owner):
+    # SNIC008: scrubbing/releasing tenant pages without an audit emit —
+    # the teardown witness trail has a hole.
+    return memory.release_pages(owner, scrub=True)
+
+
+class ShadowTLB:
+    def __init__(self):
+        self.entries = []
+
+    def install(self, entry):
+        # SNIC008: TLB mutation defined without an audit emit — installs
+        # must be witnessed at the choke point.
+        self.entries.append(entry)
+
+
+def reject_stale_quote(nonce, outstanding):
+    # SNIC008: attestation rejection without an audit verdict record.
+    if nonce not in outstanding:
+        raise AttestationError("stale or replayed nonce")
+    return True
+
+
+def flight_snapshot_stamp(entries):
+    # SNIC008: wall-clock read in forensics-scoped code — post-mortem
+    # bundles must be byte-identical across same-seed runs.
+    return {"captured": time.time(), "n": len(entries)}

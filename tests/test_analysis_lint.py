@@ -28,7 +28,7 @@ from repro.analysis.lint import (
 FIXTURE = Path(__file__).parent / "fixtures" / "lint_violations.py"
 
 ALL_RULES = {"SNIC001", "SNIC002", "SNIC003", "SNIC004", "SNIC005",
-             "SNIC006", "SNIC007"}
+             "SNIC006", "SNIC007", "SNIC008"}
 
 
 def lint_source(text: str, modname: str = "scratch") -> list:
@@ -250,6 +250,77 @@ class TestRuleBehaviour:
                 "def default_stamp():\n"
                 "    return time.time()\n")
         assert not [f for f in lint_source(text) if f.rule == "SNIC007"]
+
+    def test_snic008_scrub_without_emit(self):
+        text = ("def teardown(memory, owner):\n"
+                "    memory.release_pages(owner, scrub=True)\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC008"]
+        assert findings and "audit record" in findings[0].message
+
+    def test_snic008_scrub_with_emit_is_clean(self):
+        text = ("def teardown(memory, owner, _AUDIT):\n"
+                "    released = memory.release_pages(owner, scrub=True)\n"
+                "    if _AUDIT.active:\n"
+                "        _AUDIT.emit('memory.scrub', tenant=owner,\n"
+                "                    pages=released)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC008"]
+
+    def test_snic008_tlb_method_without_emit(self):
+        text = ("class CoreTLB:\n"
+                "    def install(self, entry):\n"
+                "        self.entries.append(entry)\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC008"]
+        assert findings and "choke point" in findings[0].message
+
+    def test_snic008_tlb_method_with_emit_is_clean(self):
+        text = ("class CoreTLB:\n"
+                "    def install(self, entry):\n"
+                "        self.entries.append(entry)\n"
+                "        if _AUDIT.active:\n"
+                "            _AUDIT.emit('tlb.install', bank=self.name)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC008"]
+
+    def test_snic008_non_tlb_install_is_exempt(self):
+        # install/clear on a class without a TLB-ish name is out of scope.
+        text = ("class PluginHost:\n"
+                "    def install(self, plugin):\n"
+                "        self.plugins.append(plugin)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC008"]
+
+    def test_snic008_attestation_raise_without_emit(self):
+        text = ("def verify(quote, expected):\n"
+                "    if quote.state_hash != expected:\n"
+                "        raise AttestationError('bad state hash')\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC008"]
+        assert findings and "witnessed" in findings[0].message
+
+    def test_snic008_attestation_raise_with_emit_is_clean(self):
+        text = ("def _reject(reason):\n"
+                "    if _AUDIT.active:\n"
+                "        _AUDIT.emit('attest.verdict', ok=False,\n"
+                "                    reason=reason)\n"
+                "    raise AttestationError(reason)\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC008"]
+
+    def test_snic008_wall_clock_in_forensics_module(self):
+        text = ("import time\n"
+                "def stamp(bundle):\n"
+                "    bundle['at'] = time.time()\n")
+        findings = lint_source(text, modname="repro.obs.postmortem")
+        assert [f for f in findings if f.rule == "SNIC008"]
+
+    def test_snic008_wall_clock_in_flight_function(self):
+        text = ("import time\n"
+                "def flight_snapshot():\n"
+                "    return time.perf_counter()\n")
+        findings = [f for f in lint_source(text) if f.rule == "SNIC008"]
+        assert findings and "byte-identical" in findings[0].message
+
+    def test_snic008_wall_clock_out_of_scope_is_exempt(self):
+        text = ("import time\n"
+                "def bench_stamp():\n"
+                "    return time.time()\n")
+        assert not [f for f in lint_source(text) if f.rule == "SNIC008"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,253 @@
+"""The hash-chained audit log: round-trip integrity, tamper detection
+at the offending index, emitter routing, and determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import auditlog, flight
+from repro.obs.auditlog import (
+    GENESIS,
+    AuditLog,
+    record_hash,
+    verify_records,
+)
+
+
+def make_log(n: int = 6) -> AuditLog:
+    log = AuditLog()
+    log.enable()
+    kinds = ("tlb.install", "memory.scrub", "attest.verdict",
+             "denylist.blocked", "fault.injected", "recovery.restart")
+    for i in range(n):
+        log.append(kinds[i % len(kinds)], tenant=i % 3,
+                   pages=i + 1, ok=bool(i % 2))
+    return log
+
+
+class TestChainRoundTrip:
+    def test_empty_log_verifies_and_heads_at_genesis(self):
+        log = AuditLog()
+        assert log.head() == GENESIS
+        assert log.verify_chain() is None
+
+    def test_append_serialize_verify(self):
+        log = make_log()
+        assert log.verify_chain() is None
+        # Round-trip through JSON (what a bundle does) and re-verify.
+        wire = json.dumps(log.tail(), sort_keys=True)
+        records = json.loads(wire)
+        assert verify_records(records, anchor=GENESIS) is None
+
+    def test_head_tracks_last_record(self):
+        log = make_log()
+        assert log.head() == log.records[-1]["hash"]
+
+    def test_seq_is_contiguous_from_zero(self):
+        log = make_log()
+        assert [r["seq"] for r in log.records] == list(range(len(log)))
+
+    def test_record_hash_covers_prev_and_payload(self):
+        payload = {"seq": 0, "ts_ns": 1.0, "kind": "k", "tenant": None,
+                   "detail": {}}
+        assert record_hash(GENESIS, payload) != \
+            record_hash("0" * 64, payload)
+        assert record_hash(GENESIS, payload) != \
+            record_hash(GENESIS, {**payload, "ts_ns": 2.0})
+
+    def test_tail_excerpt_self_verifies_with_trusted_anchor(self):
+        log = make_log(8)
+        excerpt = log.tail(3)
+        # Mid-chain excerpt: full-anchor verification fails, trusted
+        # first-prev verification succeeds.
+        assert verify_records(excerpt, anchor=GENESIS) == 0
+        assert verify_records(excerpt, anchor=None) is None
+
+    def test_tail_is_a_deep_copy(self):
+        log = make_log()
+        excerpt = log.tail()
+        excerpt[0]["detail"]["pages"] = 999_999
+        assert log.verify_chain() is None
+
+
+class TestTamperDetection:
+    def test_flipping_any_byte_breaks_the_chain_at_that_index(self):
+        """The tentpole guarantee: flip one byte anywhere in the
+        serialized log and verification fails, reporting the offending
+        record."""
+        log = make_log(5)
+        baseline = log.tail()
+        for index in range(len(baseline)):
+            for field, value in (("kind", "evil"), ("tenant", 99),
+                                 ("ts_ns", -1.0)):
+                tampered = json.loads(json.dumps(baseline))
+                tampered[index][field] = value
+                assert verify_records(tampered, anchor=GENESIS) == index, \
+                    f"tampering {field} of record {index} undetected"
+
+    def test_tampering_detail_is_detected(self):
+        log = make_log(4)
+        tampered = log.tail()
+        tampered[2]["detail"]["pages"] = 1_000_000
+        assert verify_records(tampered, anchor=GENESIS) == 2
+
+    def test_tampering_hash_is_detected(self):
+        log = make_log(4)
+        tampered = log.tail()
+        bad = tampered[1]["hash"]
+        tampered[1]["hash"] = ("0" if bad[0] != "0" else "1") + bad[1:]
+        # Record 1's own digest no longer matches its payload.
+        assert verify_records(tampered, anchor=GENESIS) == 1
+
+    def test_tampering_prev_pointer_is_detected(self):
+        log = make_log(4)
+        tampered = log.tail()
+        tampered[2]["prev"] = "f" * 64
+        assert verify_records(tampered, anchor=GENESIS) == 2
+
+    def test_deleting_a_middle_record_is_detected(self):
+        log = make_log(5)
+        tampered = log.tail()
+        del tampered[2]
+        assert verify_records(tampered, anchor=GENESIS) is not None
+
+    def test_reordering_records_is_detected(self):
+        log = make_log(5)
+        tampered = log.tail()
+        tampered[1], tampered[3] = tampered[3], tampered[1]
+        assert verify_records(tampered, anchor=GENESIS) is not None
+
+    def test_single_character_flip_in_serialized_form(self):
+        """Byte-level sweep over the serialized JSON: every mutation
+        that still parses must fail verification (structural mutations
+        that break JSON are rejected even earlier)."""
+        log = make_log(3)
+        wire = json.dumps(log.tail(), sort_keys=True)
+        flips = 0
+        for pos in range(len(wire)):
+            original = wire[pos]
+            replacement = "7" if original != "7" else "8"
+            mutated = wire[:pos] + replacement + wire[pos + 1:]
+            try:
+                records = json.loads(mutated)
+            except json.JSONDecodeError:
+                continue
+            if json.dumps(records, sort_keys=True) == \
+                    json.dumps(json.loads(wire), sort_keys=True):
+                continue  # e.g. 1.0 -> 1.00 style no-op never happens,
+                # but guard against formatting-equivalent parses
+            assert verify_records(records, anchor=GENESIS) is not None, \
+                f"flip at byte {pos} ({original!r}->{replacement!r}) " \
+                f"undetected"
+            flips += 1
+        assert flips > 100  # the sweep actually exercised the chain
+
+
+class TestEmitterRouting:
+    def test_inactive_emitter_drops_everything(self):
+        emitter = auditlog.get_emitter()
+        assert emitter.active is False
+        emitter.emit("tlb.install", tenant=1, bank="x")
+        assert len(auditlog.get_audit_log()) == 0
+        assert len(flight.get_flight_recorder()) == 0
+
+    def test_emitter_routes_to_enabled_log(self):
+        auditlog.enable_audit_log()
+        emitter = auditlog.get_emitter()
+        assert emitter.active is True
+        emitter.emit("memory.scrub", tenant=2, pages=4)
+        log = auditlog.get_audit_log()
+        assert len(log) == 1
+        assert log.records[0]["kind"] == "memory.scrub"
+        assert log.records[0]["tenant"] == 2
+        assert log.records[0]["detail"] == {"pages": 4}
+        assert log.verify_chain() is None
+
+    def test_emitter_routes_to_enabled_flight(self):
+        flight.enable_flight_recording()
+        emitter = auditlog.get_emitter()
+        assert emitter.active is True
+        emitter.emit("tlb.clear", tenant=None, bank="core0", dropped=3)
+        recorder = flight.get_flight_recorder()
+        assert len(recorder) == 1
+        entry = recorder.entries()[0]
+        assert (entry.kind, entry.name, entry.track) == \
+            ("audit", "tlb.clear", "audit")
+        assert entry.args == {"bank": "core0", "dropped": 3}
+        # The log stayed off: nothing appended there.
+        assert len(auditlog.get_audit_log()) == 0
+
+    def test_both_sinks_share_one_timestamp(self):
+        auditlog.enable_audit_log()
+        flight.enable_flight_recording()
+        auditlog.get_emitter().emit("attest.verdict", tenant=1, ok=True)
+        record = auditlog.get_audit_log().records[0]
+        entry = flight.get_flight_recorder().entries()[0]
+        assert entry.ts_ns == record["ts_ns"]
+
+    def test_reset_returns_emitter_to_inactive(self):
+        auditlog.enable_audit_log()
+        flight.enable_flight_recording()
+        auditlog.reset()
+        flight.reset()
+        assert auditlog.get_emitter().active is False
+
+
+class TestDeterminism:
+    def test_internal_tick_clock_is_deterministic(self):
+        a, b = make_log(), make_log()
+        assert json.dumps(a.tail(), sort_keys=True) == \
+            json.dumps(b.tail(), sort_keys=True)
+
+    def test_bound_clock_lands_in_records(self):
+        log = AuditLog()
+        log.enable(clock=lambda: 12_345)
+        log.append("watchdog.timeout", tenant=1)
+        assert log.records[0]["ts_ns"] == 12345.0
+
+    def test_detail_keys_are_sorted(self):
+        log = AuditLog()
+        log.enable()
+        log.append("k", zebra=1, alpha=2, mid=3)
+        assert list(log.records[0]["detail"]) == ["alpha", "mid", "zebra"]
+
+    def test_non_jsonable_detail_values_are_coerced(self):
+        log = AuditLog()
+        log.enable()
+        log.append("k", data=b"\x01\x02", items=(1, 2))
+        detail = log.records[0]["detail"]
+        assert detail["items"] == [1, 2]
+        assert isinstance(detail["data"], str)
+        assert log.verify_chain() is None
+
+
+class TestDisabledLogIsInert:
+    def test_append_requires_enable(self):
+        log = AuditLog()
+        # Disabled logs are never handed appends by the emitter; direct
+        # appends still work (the flag gates the *facade*), so assert
+        # the facade contract instead.
+        emitter = auditlog.AuditEmitter(log, flight.FlightRecorder())
+        emitter.refresh()
+        assert emitter.active is False
+        emitter.emit("k")
+        assert len(log) == 0
+
+    def test_module_singleton_identity_is_stable(self):
+        # Resets must clear in place — the emitter holds references.
+        log_before = auditlog.get_audit_log()
+        auditlog.enable_audit_log()
+        auditlog.reset()
+        assert auditlog.get_audit_log() is log_before
+
+
+@pytest.mark.parametrize("n", [1, 2, 7, 33])
+def test_verify_is_linear_in_confidence_not_luck(n):
+    """Chains of assorted lengths verify and detect first-byte damage."""
+    log = make_log(n)
+    assert log.verify_chain() is None
+    tampered = log.tail()
+    tampered[0]["kind"] = "forged"
+    assert verify_records(tampered, anchor=GENESIS) == 0
