@@ -37,7 +37,13 @@ Commands:
   tail and audit excerpt, ``--verify`` the sha256 hash chain, or
   ``--diff`` two bundles field by field
 * ``lint``    — S-NIC-specific static analysis (SNIC001–SNIC008) over
-  the source tree (``--format text|json|github``)
+  the source tree (``--format text|json|github``; ``--stats`` prints
+  the per-rule suppression table and fails on stale
+  ``# snic: ignore[...]`` comments)
+* ``dataflow`` — whole-program dataflow analysis: cross-tenant taint
+  (SNIC009) and shard-safety certification (SNIC010) with a committed
+  baseline (``--format text|json|github``, ``--manifest PATH`` writes
+  the shard-safety manifest for the sharding refactor)
 * ``sanitize`` — determinism checker: run the co-tenancy demo twice
   and fail on event-stream digest divergence
 * ``info``    — version + package inventory (default)
@@ -67,7 +73,9 @@ _COMMANDS = {
     "postmortem": "inspect a forensics bundle: pretty-print, --verify "
                   "the hash chain, --diff two bundles",
     "lint": "S-NIC-specific static analysis SNIC001-SNIC008 "
-            "(--format text|json|github)",
+            "(--format text|json|github, --stats)",
+    "dataflow": "whole-program taint + shard-safety analysis "
+                "SNIC009-SNIC010 (--manifest PATH, --write-baseline)",
     "sanitize": "determinism checker: same seed must give the same "
                 "event-stream digest",
     "help": "this table",
@@ -82,7 +90,7 @@ def _info() -> None:
     print()
     print("commands: python -m repro "
           "[info|report|attacks|trace|matrix|bench|audit|chaos|postmortem|"
-          "lint|sanitize]")
+          "lint|dataflow|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
     print("matrix:   python -m repro matrix [--quick] [--seed N] "
@@ -93,7 +101,8 @@ def _info() -> None:
           "[--format text|json|markdown] [--postmortem-dir DIR]")
     print("forensics: python -m repro postmortem BUNDLE "
           "[--verify] [--diff OTHER] [--tail N]")
-    print("analysis: python -m repro lint [--format github]; "
+    print("analysis: python -m repro lint [--format github] [--stats]; "
+          "python -m repro dataflow [--manifest PATH]; "
           "python -m repro sanitize")
     print()
     print("run `python -m repro help` for one line per command")
@@ -299,6 +308,10 @@ def main(argv: list) -> int:
         from repro.analysis.lint import main as lint_main
 
         return lint_main(argv[2:])
+    elif command == "dataflow":
+        from repro.analysis.dataflow.cli import main as dataflow_main
+
+        return dataflow_main(argv[2:])
     elif command == "sanitize":
         from repro.analysis.determinism import main as sanitize_main
 

@@ -1,0 +1,355 @@
+"""Interprocedural cross-tenant taint analysis (rule SNIC009).
+
+The lattice is the simplest one that captures §4's mediated-sharing
+claim: a value is either **tenant-tainted** (bytes whose owner is some
+tenant: page contents, ring frames, port drains) or **mediated/clean**
+(everything else, including anything obtained *through* a mediation
+choke point).  There is no per-tenant label — statically telling "the
+same tenant" from "a different tenant" apart is exactly the
+approximation the runtime IsoSan sanitizer covers — so the static rule
+is structural: **tenant bytes must not reach a cross-tenant emission
+point except through mediation**.
+
+Propagation is along call-graph return edges: a function holds tainted
+data if its body contains a source call, or if it calls a tainted
+non-mediating function (the taint comes back with the return value).
+A function whose body invokes a mediation choke point (denylist walk,
+attestation verdict, scrub, TLB translate / DMA-window check) is a
+*mediation point*: taint does not propagate out of it, and sink calls
+inside it are considered guarded.
+
+Known unsoundness, by design (DESIGN.md §1.10): taint passed forward
+through call *arguments* is not tracked (only return edges), dynamic
+dispatch/`getattr` is invisible, and by-name callee resolution
+over-approximates.  The analysis is an inventory-builder and CI
+tripwire, not a proof; IsoSan remains the runtime backstop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.dataflow.graph import CallSite, ProgramGraph
+
+#: Placeholder node for synthetic probe sites (never rendered).
+_EMPTY_CALL = ast.Call(func=ast.Name(id="_", ctx=ast.Load()),
+                       args=[], keywords=[])
+
+#: Receiver-name tokens that look like physical memory objects — shared
+#: vocabulary with SNIC001 (repro.analysis.rules.isolation).
+MEMORY_TOKENS = frozenset({
+    "memory", "mem", "dram", "host", "host_mem", "nic_mem", "hostmem",
+    "phys_mem", "physmem", "ram",
+})
+
+#: Receiver tokens that look like per-tenant packet rings / pipelines.
+RING_TOKENS = frozenset({
+    "ring", "rx_ring", "tx_ring", "rings", "vpp", "rx_port", "tx_port",
+    "port",
+})
+
+
+#: Resolutions precise enough to trust for qualname matching.  The
+#: by-name fallback over-approximates (every ``x.pop()`` resolves to
+#: every analysed ``pop``), so it must not satisfy a qualname spec —
+#: the receiver-token heuristic covers those sites instead.
+_PRECISE_RESOLUTIONS = frozenset({"local", "import", "self"})
+
+#: Builtin container/str method names: a by-name edge for one of these
+#: (``owners.pop()`` resolving to every analysed ``pop``) is almost
+#: always a builtin call, so taint does not propagate along it.  Domain
+#: verbs (read/drain/deliver/...) are deliberately absent.
+_GENERIC_METHODS = frozenset({
+    "pop", "get", "add", "clear", "update", "append", "extend",
+    "remove", "discard", "insert", "setdefault", "popitem", "copy",
+    "items", "keys", "values", "sort", "reverse", "count", "index",
+})
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """Matches call sites by bare method name, receiver token, and/or
+    resolved qualname prefix."""
+
+    describe: str
+    methods: FrozenSet[str] = frozenset()
+    receivers: FrozenSet[str] = frozenset()   # empty = any receiver
+    qualname_prefixes: Tuple[str, ...] = ()
+
+    def matches(self, site: CallSite) -> bool:
+        if site.name in self.methods and (
+                not self.receivers or site.receiver in self.receivers):
+            return True
+        if site.resolution in _PRECISE_RESOLUTIONS:
+            for prefix in self.qualname_prefixes:
+                for callee in site.callees:
+                    if callee == prefix or callee.startswith(prefix + "."):
+                        return True
+        return False
+
+
+#: Sources: producers of tenant-owned bytes.
+SOURCE_SPECS: Tuple[AccessSpec, ...] = (
+    AccessSpec(
+        describe="raw physical-memory read (tenant page bytes)",
+        methods=frozenset({"read", "read_u64"}),
+        receivers=MEMORY_TOKENS,
+        qualname_prefixes=("repro.hw.memory.PhysicalMemory.read",
+                           "repro.hw.memory.PhysicalMemory.read_u64"),
+    ),
+    AccessSpec(
+        describe="per-tenant packet-ring / pipeline dequeue",
+        methods=frozenset({"pop", "receive", "drain"}),
+        receivers=RING_TOKENS,
+        qualname_prefixes=("repro.hw.packet_io.PacketRing.pop",
+                           "repro.hw.packet_io.RXPort.drain",
+                           "repro.core.vpp.VirtualPacketPipeline.receive"),
+    ),
+    AccessSpec(
+        describe="descriptor scan of a tenant ring",
+        methods=frozenset({"peek_descriptors"}),
+    ),
+)
+
+#: Mediation choke points — the same seams the PR 7 audit trail
+#: witnesses (NIC-OS denylist walks, attestation verdicts, scrub,
+#: locked-TLB translate, DMA-window checks).
+MEDIATOR_SPECS: Tuple[AccessSpec, ...] = (
+    AccessSpec(
+        describe="NIC-OS denylist-walked access",
+        methods=frozenset({"os_read", "os_write", "_check_denylist",
+                           "try_install_mapping"}),
+        qualname_prefixes=("repro.core.nic_os.NICOS.os_read",
+                           "repro.core.nic_os.NICOS.os_write",
+                           "repro.core.nic_os.NICOS._check_denylist"),
+    ),
+    AccessSpec(
+        describe="denylist page-table walk",
+        methods=frozenset({"check_page"}),
+        qualname_prefixes=("repro.hw.mmu.DenylistPageTable.check",
+                           "repro.hw.mmu.DenylistPageTable.check_page"),
+    ),
+    AccessSpec(
+        describe="attestation verdict",
+        methods=frozenset({"verify", "nf_attest", "complete_exchange"}),
+        qualname_prefixes=("repro.core.attestation.Verifier.verify",
+                           "repro.core.snic.SNIC.nf_attest"),
+    ),
+    AccessSpec(
+        describe="teardown scrub",
+        methods=frozenset({"release_pages", "zero_page"}),
+        qualname_prefixes=("repro.hw.memory.PhysicalMemory.release_pages",
+                           "repro.hw.memory.PhysicalMemory.zero_page"),
+    ),
+    AccessSpec(
+        describe="locked-TLB translation / guarded access",
+        methods=frozenset({"translate", "translate_range", "load",
+                           "store"}),
+        receivers=frozenset({"tlb", "space", "address_space", "guarded"}),
+        qualname_prefixes=("repro.hw.mmu.TLB.translate",
+                           "repro.hw.mmu.TLB.translate_range",
+                           "repro.hw.mmu.GuardedAddressSpace.load",
+                           "repro.hw.mmu.GuardedAddressSpace.store"),
+    ),
+    AccessSpec(
+        describe="DMA window check",
+        methods=frozenset({"check_dma", "_check"}),
+        qualname_prefixes=("repro.core.vpp.PacketSchedulerUnit.check_dma",
+                           "repro.hw.dma.DMABank._check"),
+    ),
+)
+
+#: Sinks: emission points where bytes become visible to another tenant
+#: context (another NF's ring, the wire, host RAM, raw physical pages).
+SINK_SPECS: Tuple[AccessSpec, ...] = (
+    AccessSpec(
+        describe="raw physical-memory write",
+        methods=frozenset({"write", "write_u64"}),
+        receivers=MEMORY_TOKENS,
+        qualname_prefixes=("repro.hw.memory.PhysicalMemory.write",
+                           "repro.hw.memory.PhysicalMemory.write_u64"),
+    ),
+    AccessSpec(
+        describe="cross-tenant packet delivery / wire emission",
+        methods=frozenset({"deliver", "wire_transmit", "transmit",
+                           "drain_tx"}),
+        qualname_prefixes=(
+            "repro.core.vpp.VirtualPacketPipeline.deliver",
+            "repro.core.vpp.VirtualPacketPipeline.transmit",
+            "repro.core.vpp.VirtualPacketPipeline.drain_tx",
+            "repro.hw.packet_io.TXPort.wire_transmit"),
+    ),
+    AccessSpec(
+        describe="ring publish into an NF's DRAM region",
+        methods=frozenset({"push"}),
+        receivers=RING_TOKENS,
+        qualname_prefixes=("repro.hw.packet_io.PacketRing.push",),
+    ),
+    AccessSpec(
+        describe="DMA into host / NIC memory",
+        methods=frozenset({"to_host", "to_nic"}),
+        qualname_prefixes=("repro.hw.dma.DMABank.to_host",
+                           "repro.hw.dma.DMABank.to_nic"),
+    ),
+)
+
+#: Modules whose *bodies* are not reported (taint still propagates
+#: through them): the hardware substrate IS the mediation machinery,
+#: and repro.commodity deliberately models the §3.3 attacks.
+TRUSTED_PREFIXES: Tuple[str, ...] = (
+    "repro.hw.", "repro.commodity.", "repro.analysis.",
+)
+
+
+@dataclass
+class TaintFlow:
+    """One unmediated source→sink witness path."""
+
+    sink_site: CallSite
+    sink_describe: str
+    source_site: CallSite
+    source_describe: str
+    #: qualnames from the sink's enclosing function down to the
+    #: function containing the source call (length 1 = same function).
+    chain: Tuple[str, ...]
+
+    def chain_text(self) -> str:
+        return " -> ".join(self.chain)
+
+
+def _first_match(site: CallSite,
+                 specs: Sequence[AccessSpec]) -> Optional[AccessSpec]:
+    for spec in specs:
+        if spec.matches(site):
+            return spec
+    return None
+
+
+@dataclass
+class TaintAnalysis:
+    """Computes per-function taint and unmediated source→sink flows."""
+
+    graph: ProgramGraph
+    source_specs: Sequence[AccessSpec] = SOURCE_SPECS
+    mediator_specs: Sequence[AccessSpec] = MEDIATOR_SPECS
+    sink_specs: Sequence[AccessSpec] = SINK_SPECS
+    trusted_prefixes: Tuple[str, ...] = TRUSTED_PREFIXES
+
+    #: function qualname -> the source call site that taints it
+    #: directly (its own body), if any.
+    direct_sources: Dict[str, CallSite] = field(default_factory=dict)
+    #: function qualname -> body contains a mediation call.
+    mediation_points: Dict[str, CallSite] = field(default_factory=dict)
+    #: function qualname -> (next hop toward the source, or "" when the
+    #: source call is in this very function).
+    taint_witness: Dict[str, str] = field(default_factory=dict)
+
+    def run(self) -> List[TaintFlow]:
+        self._classify_bodies()
+        self._propagate()
+        return self._collect_flows()
+
+    # -- pass 1: per-body classification -------------------------------
+
+    def _classify_bodies(self) -> None:
+        for caller in sorted(self.graph.calls):
+            for site in self.graph.calls[caller]:
+                if caller not in self.mediation_points and \
+                        _first_match(site, self.mediator_specs) is not None:
+                    self.mediation_points[caller] = site
+                if caller not in self.direct_sources and \
+                        _first_match(site, self.source_specs) is not None:
+                    self.direct_sources[caller] = site
+
+    # -- pass 2: fixpoint over return edges ----------------------------
+
+    def _is_mediated_function(self, qualname: str) -> bool:
+        if qualname in self.mediation_points:
+            return True
+        # Functions *named* like choke points (os_read in a fixture)
+        # mediate even when their bodies are stubs.
+        info = self.graph.functions.get(qualname)
+        if info is None:
+            return False
+        probe = CallSite(caller="", modname=info.modname, name=info.name,
+                         receiver="", lineno=0, col=0,
+                         node=_EMPTY_CALL, callees=(qualname,),
+                         resolution="local")
+        return _first_match(probe, self.mediator_specs) is not None
+
+    def _propagate(self) -> None:
+        for qualname in self.direct_sources:
+            self.taint_witness.setdefault(qualname, "")
+        changed = True
+        while changed:
+            changed = False
+            for caller in sorted(self.graph.calls):
+                if caller in self.taint_witness:
+                    continue
+                if self._is_mediated_function(caller):
+                    # Sink-guarding handled separately; a mediation
+                    # point never *exports* taint to its callers, and
+                    # obtaining data through one yields clean data —
+                    # so its own callees cannot taint it either.
+                    continue
+                for site in self.graph.calls[caller]:
+                    if _first_match(site, self.mediator_specs) is not None:
+                        continue  # value came through a choke point
+                    if site.resolution == "by-name" and \
+                            site.name in _GENERIC_METHODS:
+                        continue  # almost certainly a builtin call
+                    for callee in site.callees:
+                        if callee in self.taint_witness and \
+                                not self._is_mediated_function(callee):
+                            self.taint_witness[caller] = callee
+                            changed = True
+                            break
+                    if caller in self.taint_witness:
+                        break
+
+    # -- pass 3: findings ----------------------------------------------
+
+    def _chain_for(self, qualname: str) -> Tuple[str, ...]:
+        chain = [qualname]
+        seen = {qualname}
+        while True:
+            hop = self.taint_witness.get(chain[-1], "")
+            if not hop or hop in seen:
+                return tuple(chain)
+            chain.append(hop)
+            seen.add(hop)
+
+    def _collect_flows(self) -> List[TaintFlow]:
+        flows: List[TaintFlow] = []
+        for caller in sorted(self.graph.calls):
+            if caller not in self.taint_witness:
+                continue
+            info = self.graph.functions.get(caller)
+            if info is None or \
+                    info.modname.startswith(self.trusted_prefixes) or \
+                    any(info.modname == p.rstrip(".")
+                        for p in self.trusted_prefixes):
+                continue
+            if caller in self.mediation_points:
+                continue  # choke point in the same body guards sinks
+            chain = self._chain_for(caller)
+            source_fn = chain[-1]
+            source_site = self.direct_sources.get(source_fn)
+            if source_site is None:
+                continue
+            source_spec = _first_match(source_site, self.source_specs)
+            for site in self.graph.calls[caller]:
+                sink_spec = _first_match(site, self.sink_specs)
+                if sink_spec is None:
+                    continue
+                flows.append(TaintFlow(
+                    sink_site=site, sink_describe=sink_spec.describe,
+                    source_site=source_site,
+                    source_describe=(source_spec.describe
+                                     if source_spec else "tenant data"),
+                    chain=chain))
+        flows.sort(key=lambda fl: (fl.sink_site.modname,
+                                   fl.sink_site.lineno, fl.sink_site.col))
+        return flows

@@ -26,18 +26,33 @@ comment, e.g.::
     self.memory.claim_pages(nf_id, pages)
 
 ``--show-suppressed`` lists what was silenced; the exit code only counts
-active findings.
+active findings.  ``--stats`` audits the suppression inventory itself:
+per-rule counts plus any tag that no longer silences a finding from
+either engine (per-module rules here, whole-program rules in
+:mod:`repro.analysis.dataflow`) — stale tags fail CI.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import json
 import re
 import sys
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*snic:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
@@ -45,7 +60,14 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``key`` is a stable fingerprint for whole-program findings (used by
+    the dataflow baseline, where line numbers drift too easily);
+    per-module lint rules leave it empty.  ``baselined`` marks findings
+    matched by a committed baseline entry: still reported in JSON, but
+    not counted toward the exit code.
+    """
 
     rule: str
     message: str
@@ -54,6 +76,12 @@ class Finding:
     col: int
     hint: str = ""
     suppressed: bool = False
+    key: str = ""
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not self.suppressed and not self.baselined
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -64,6 +92,8 @@ class Finding:
             "col": self.col,
             "hint": self.hint,
             "suppressed": self.suppressed,
+            "key": self.key,
+            "baselined": self.baselined,
         }
 
 
@@ -84,31 +114,70 @@ class ModuleSource:
                    tree=ast.parse(text, filename=str(path)),
                    lines=text.splitlines())
 
-    def suppressed_rules_at(self, line: int) -> Optional[set]:
-        """Rules silenced at 1-based ``line`` (None = not suppressed,
-        empty set = blanket ``# snic: ignore``).
+    def suppression_match(
+            self, line: int) -> Optional[Tuple[Set[str], int]]:
+        """The suppression governing 1-based ``line``, if any.
+
+        Returns ``(rules, comment_line)`` where ``rules`` is the set of
+        silenced rule ids (empty set = blanket ``# snic: ignore``) and
+        ``comment_line`` is the 1-based line carrying the tag — used by
+        ``--stats`` to flag tags that never suppress anything.
 
         The tag is honoured on the flagged line itself or anywhere in
         the contiguous block of pure-comment lines directly above it —
         justifications are encouraged to run longer than one line.
         """
-        candidates = []
+        candidates: List[Tuple[str, int]] = []
         if 1 <= line <= len(self.lines):
-            candidates.append(self.lines[line - 1])
+            candidates.append((self.lines[line - 1], line))
         cursor = line - 1
         while 1 <= cursor <= len(self.lines) and \
                 self.lines[cursor - 1].lstrip().startswith("#"):
-            candidates.append(self.lines[cursor - 1])
+            candidates.append((self.lines[cursor - 1], cursor))
             cursor -= 1
-        for text in candidates:
+        for text, text_line in candidates:
             match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
             rules = match.group("rules")
             if rules is None:
-                return set()
-            return {r.strip().upper() for r in rules.split(",") if r.strip()}
+                return set(), text_line
+            return ({r.strip().upper() for r in rules.split(",")
+                     if r.strip()}, text_line)
         return None
+
+    def suppressed_rules_at(self, line: int) -> Optional[set]:
+        """Rules silenced at 1-based ``line`` (None = not suppressed,
+        empty set = blanket ``# snic: ignore``)."""
+        match = self.suppression_match(line)
+        return None if match is None else match[0]
+
+    def suppression_comments(self) -> List[Tuple[int, FrozenSet[str]]]:
+        """Every ``# snic: ignore`` tag in real comment tokens.
+
+        Returns ``(line, rules)`` pairs (empty frozenset = blanket tag).
+        Tokenizing — rather than grepping lines — keeps tags quoted
+        inside docstrings and string literals (this module's own usage
+        examples, rule hint texts) from being mistaken for suppressions.
+        """
+        out: List[Tuple[int, FrozenSet[str]]] = []
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS_RE.search(tok.string)
+                if match is None:
+                    continue
+                rules = match.group("rules")
+                out.append((tok.start[0], frozenset(
+                    () if rules is None else
+                    (r.strip().upper() for r in rules.split(",")
+                     if r.strip()))))
+        except tokenize.TokenError:  # unterminated string etc.
+            pass
+        return out
 
 
 class Rule:
@@ -137,6 +206,28 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             hint=self.hint if hint is None else hint,
         )
+
+
+class ProgramRule:
+    """Base class for whole-program rules (``repro.analysis.dataflow``).
+
+    Unlike :class:`Rule`, which sees one module at a time, a program
+    rule sees every parsed module at once — that is what lets SNIC009
+    chase a taint path across function and module boundaries and
+    SNIC010 see a cross-module alias of a mutable.  Program rules run
+    under ``python -m repro dataflow`` (with baseline support), share
+    :class:`Finding`/format/suppression machinery with the per-module
+    engine, and are listed by ``repro lint --list-rules``.
+    """
+
+    rule_id: str = "SNIC000"
+    title: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def check_program(
+            self, modules: Sequence[ModuleSource]) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 # ----------------------------------------------------------------------
@@ -199,6 +290,12 @@ def default_rules() -> List[Rule]:
     return all_rules()
 
 
+def default_program_rules() -> List[ProgramRule]:
+    from repro.analysis.rules import all_program_rules
+
+    return all_program_rules()
+
+
 def source_root() -> Path:
     """The ``repro`` package directory of this checkout."""
     import repro
@@ -217,39 +314,84 @@ def module_name_for(path: Path) -> str:
     return path.stem
 
 
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, in sorted order per root —
+    the one file-discovery walk both engines share, so findings come
+    out in the same deterministic order everywhere."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def load_modules(paths: Sequence[Path]) -> List[ModuleSource]:
+    """Parse every file under ``paths`` into :class:`ModuleSource`."""
+    return [ModuleSource.parse(file, module_name_for(file))
+            for file in iter_python_files(paths)]
+
+
+def apply_suppressions(
+        module: ModuleSource, findings: Iterable[Finding],
+        used: Optional[Set[Tuple[str, int]]] = None) -> None:
+    """Mark findings silenced by ``# snic: ignore`` tags in ``module``.
+
+    ``used`` (when given) collects ``(path, comment_line)`` pairs for
+    every tag that actually suppressed something — the complement is
+    what ``--stats`` reports as stale.
+    """
+    for finding in findings:
+        match = module.suppression_match(finding.line)
+        if match is None:
+            continue
+        silenced, comment_line = match
+        if not silenced or finding.rule in silenced:
+            finding.suppressed = True
+            if used is not None:
+                used.add((str(module.path), comment_line))
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """The one canonical finding order: (path, line, col, rule).
+
+    Every CLI surface (lint, dataflow, every format) reports in this
+    order, which is what makes double runs byte-identical.
+    """
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 class LintEngine:
     """Runs a rule set over files/trees and collects findings."""
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
         self.rules: List[Rule] = list(rules) if rules is not None \
             else default_rules()
+        #: (path, comment_line) of every suppression tag that silenced
+        #: at least one finding in this engine's lifetime.
+        self.used_suppressions: Set[Tuple[str, int]] = set()
 
     def select(self, rule_ids: Iterable[str]) -> None:
         wanted = {r.upper() for r in rule_ids}
         self.rules = [r for r in self.rules if r.rule_id in wanted]
 
-    def lint_file(self, path: Path) -> List[Finding]:
-        module = ModuleSource.parse(path, module_name_for(path))
+    def lint_module(self, module: ModuleSource) -> List[Finding]:
         findings: List[Finding] = []
         for rule in self.rules:
-            for finding in rule.check(module):
-                silenced = module.suppressed_rules_at(finding.line)
-                if silenced is not None and (
-                        not silenced or finding.rule in silenced):
-                    finding.suppressed = True
-                findings.append(finding)
+            findings.extend(rule.check(module))
+        apply_suppressions(module, findings, self.used_suppressions)
         findings.sort(key=lambda f: (f.line, f.col, f.rule))
         return findings
 
+    def lint_file(self, path: Path) -> List[Finding]:
+        return self.lint_module(
+            ModuleSource.parse(path, module_name_for(path)))
+
     def lint_paths(self, paths: Sequence[Path]) -> List[Finding]:
         findings: List[Finding] = []
-        for path in paths:
-            if path.is_dir():
-                for file in sorted(path.rglob("*.py")):
-                    findings.extend(self.lint_file(file))
-            else:
-                findings.extend(self.lint_file(path))
-        return findings
+        for module in load_modules(paths):
+            findings.extend(self.lint_module(module))
+        return sort_findings(findings)
 
 
 # ----------------------------------------------------------------------
@@ -268,25 +410,32 @@ def format_text(findings: List[Finding],
     lines: List[str] = []
     active = 0
     for f in findings:
-        if f.suppressed and not show_suppressed:
+        if not f.active and not show_suppressed:
             continue
-        tag = " (suppressed)" if f.suppressed else ""
+        tag = " (suppressed)" if f.suppressed else \
+            " (baselined)" if f.baselined else ""
         lines.append(f"{_relpath(f.path)}:{f.line}:{f.col} "
                      f"{f.rule}{tag} {f.message}")
-        if f.hint and not f.suppressed:
+        if f.hint and f.active:
             lines.append(f"    hint: {f.hint}")
-        active += 0 if f.suppressed else 1
-    lines.append(f"{active} finding(s)"
-                 + (f", {sum(1 for f in findings if f.suppressed)}"
-                    f" suppressed" if findings else ""))
+        active += 1 if f.active else 0
+    suffix = ""
+    if findings:
+        n_suppressed = sum(1 for f in findings if f.suppressed)
+        n_baselined = sum(1 for f in findings if f.baselined)
+        suffix = f", {n_suppressed} suppressed"
+        if n_baselined:
+            suffix += f", {n_baselined} baselined"
+    lines.append(f"{active} finding(s)" + suffix)
     return "\n".join(lines)
 
 
 def format_json(findings: List[Finding]) -> str:
     return json.dumps({
         "findings": [f.as_dict() for f in findings],
-        "n_active": sum(1 for f in findings if not f.suppressed),
+        "n_active": sum(1 for f in findings if f.active),
         "n_suppressed": sum(1 for f in findings if f.suppressed),
+        "n_baselined": sum(1 for f in findings if f.baselined),
     }, indent=2)
 
 
@@ -294,7 +443,7 @@ def format_github(findings: List[Finding]) -> str:
     """GitHub Actions workflow-command annotations (one per finding)."""
     lines = []
     for f in findings:
-        if f.suppressed:
+        if not f.active:
             continue
         message = f.message + (f" Hint: {f.hint}" if f.hint else "")
         # Workflow commands terminate on newlines; escape per the spec.
@@ -326,6 +475,83 @@ def run_lint(paths: Optional[Sequence[Path]] = None,
     return findings, (1 if active else 0)
 
 
+# ----------------------------------------------------------------------
+# Suppression statistics (``repro lint --stats``)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SuppressionStats:
+    """Per-rule counts plus the stale-suppression audit."""
+
+    active_by_rule: Dict[str, int] = field(default_factory=dict)
+    suppressed_by_rule: Dict[str, int] = field(default_factory=dict)
+    #: (path, line, tag-rule-list) of suppression comments that
+    #: silenced nothing under any rule — stale tags that must go.
+    unused: List[Tuple[str, int, str]] = field(default_factory=list)
+    n_comments: int = 0
+
+
+def collect_stats(paths: Optional[Sequence[Path]] = None
+                  ) -> Tuple[List[Finding], SuppressionStats]:
+    """Run *both* engines (per-module rules and the whole-program
+    dataflow rules) over ``paths`` and audit every suppression tag.
+
+    Both engines must run because a tag is "used" if it silences a
+    finding from either: a ``# snic: ignore[SNIC009]`` consumed only by
+    ``repro dataflow`` is not stale.  Baselines are deliberately not
+    applied here — a tag beaten to the punch by a baseline entry still
+    suppresses the finding and still counts as used.
+    """
+    from repro.analysis.dataflow.cli import run_program_rules
+
+    roots = list(paths) if paths else [source_root()]
+    modules = load_modules(roots)
+    by_path = {str(m.path): m for m in modules}
+    used: Set[Tuple[str, int]] = set()
+
+    engine = LintEngine()
+    findings: List[Finding] = []
+    for module in modules:
+        module_findings: List[Finding] = []
+        for rule in engine.rules:
+            module_findings.extend(rule.check(module))
+        apply_suppressions(module, module_findings, used)
+        findings.extend(module_findings)
+    program_findings = run_program_rules(modules, used=used)
+    findings.extend(program_findings)
+    sort_findings(findings)
+
+    stats = SuppressionStats()
+    for f in findings:
+        bucket = stats.suppressed_by_rule if f.suppressed \
+            else stats.active_by_rule
+        bucket[f.rule] = bucket.get(f.rule, 0) + 1
+    for path in sorted(by_path):
+        for line, rules in by_path[path].suppression_comments():
+            stats.n_comments += 1
+            if (path, line) not in used:
+                stats.unused.append(
+                    (path, line, ",".join(sorted(rules)) or "blanket"))
+    return findings, stats
+
+
+def format_stats(stats: SuppressionStats) -> str:
+    lines = ["suppression audit (# snic: ignore tags)", ""]
+    rules = sorted(set(stats.active_by_rule) | set(stats.suppressed_by_rule))
+    lines.append(f"{'rule':<10} {'active':>7} {'suppressed':>11}")
+    for rule in rules:
+        lines.append(f"{rule:<10} {stats.active_by_rule.get(rule, 0):>7} "
+                     f"{stats.suppressed_by_rule.get(rule, 0):>11}")
+    lines.append("")
+    lines.append(f"{stats.n_comments} suppression tag(s) in tree, "
+                 f"{len(stats.unused)} unused")
+    for path, line, rules_text in stats.unused:
+        lines.append(f"  UNUSED {_relpath(path)}:{line} "
+                     f"# snic: ignore[{rules_text}] — suppresses nothing; "
+                     f"delete it or fix the rule list")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
@@ -342,6 +568,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: all)")
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also print suppressed findings (text format)")
+    parser.add_argument("--stats", action="store_true",
+                        help="per-rule suppression counts + stale-tag "
+                             "audit; exits 1 on unused suppressions")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
@@ -351,9 +580,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.rule_id}  {rule.title}")
             print(f"    rationale: {rule.rationale}")
             print(f"    hint:      {rule.hint}")
+        for program_rule in default_program_rules():
+            print(f"{program_rule.rule_id}  {program_rule.title} "
+                  f"[whole-program: repro dataflow]")
+            print(f"    rationale: {program_rule.rationale}")
+            print(f"    hint:      {program_rule.hint}")
         return 0
 
-    rule_ids = [r for r in (args.rules or "").split(",") if r] or None
+    if args.stats:
+        # The stats gate is the stale-suppression audit alone: active
+        # findings are the plain `repro lint` / `repro dataflow` exit
+        # codes' job (dataflow findings may be baselined, which this
+        # audit deliberately ignores).
+        _findings, stats = collect_stats(args.paths or None)
+        print(format_stats(stats))
+        return 1 if stats.unused else 0
+
+    rule_ids = [r.upper() for r in (args.rules or "").split(",") if r] or None
+    if rule_ids:
+        known = {rule.rule_id for rule in default_rules()}
+        program = {rule.rule_id for rule in default_program_rules()}
+        bad = sorted(set(rule_ids) - known)
+        if bad:
+            # A typo must not pass vacuously (0 rules => 0 findings);
+            # point whole-program ids at their own command.
+            hint = (" (whole-program rules run via `python -m repro "
+                    "dataflow`)" if any(r in program for r in bad) else "")
+            parser.error(f"unknown rule id(s): {', '.join(bad)}{hint}")
     findings, code = run_lint(args.paths or None, rules=rule_ids)
     if args.format == "text":
         print(format_text(findings, show_suppressed=args.show_suppressed))
