@@ -1,0 +1,63 @@
+"""SLO scorecard at scale (DESIGN.md §1.11, paper §4.5 as pass/fail).
+
+Runs the per-tenant SLO scorecard — Zipf-skewed tenants under each bus
+arbiter, sim-time windowed aggregation, burn-rate alerting — and prints
+the headline pass/fail table.  The assertions are the paper's isolation
+story: temporal partitioning attributes zero cross-tenant wait, so every
+tenant's interference budget passes; fcfs under identical load does not.
+"""
+
+from _common import bench_main, print_table
+
+
+def compute_scorecard(n_tenants: int, quick: bool) -> dict:
+    from repro.obs.scorecard import run_scorecard
+
+    return run_scorecard(n_tenants=n_tenants, seed=7, quick=quick)
+
+
+def run(quick: bool = False) -> dict:
+    """Harness entry point: the arbiter-sweep scorecard."""
+    n_tenants = 32 if quick else 128
+    report = compute_scorecard(n_tenants, quick=True)
+    print_table(
+        f"SLO scorecard — {n_tenants} tenants per arbiter",
+        ["arbiter", "pass", "fail", "pages", "tickets",
+         "cross-tenant wait ns"],
+        [[row["arbiter"], row["n_pass"], row["n_fail"], row["pages"],
+          row["tickets"], row["cross_tenant_wait_ns"]]
+         for row in report["summary"]])
+
+    by_arbiter = {row["arbiter"]: row for row in report["summary"]}
+    temporal = by_arbiter["temporal"]
+    fcfs = by_arbiter["fcfs"]
+    assert temporal["cross_tenant_wait_ns"] == 0.0, (
+        "temporal partitioning must attribute zero cross-tenant wait")
+    assert temporal["n_fail"] == 0, (
+        "every tenant must pass all objectives under temporal")
+    assert fcfs["n_fail"] > 0, (
+        "fcfs under scorecard load must fail tenants on interference")
+    assert fcfs["pages"] + fcfs["tickets"] > 0, (
+        "fcfs interference must fire burn-rate alerts")
+
+    return {
+        "n_tenants": n_tenants,
+        "summary": report["summary"],
+        "temporal_n_pass": temporal["n_pass"],
+        "fcfs_n_fail": fcfs["n_fail"],
+        "fcfs_alerts": fcfs["pages"] + fcfs["tickets"],
+    }
+
+
+def test_slo_scorecard(benchmark):
+    outputs = benchmark.pedantic(
+        lambda: compute_scorecard(16, quick=True), rounds=1, iterations=1)
+    temporal = next(row for row in outputs["summary"]
+                    if row["arbiter"] == "temporal")
+    assert temporal["cross_tenant_wait_ns"] == 0.0
+    assert temporal["n_fail"] == 0
+    benchmark.extra_info["summary"] = outputs["summary"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(run))

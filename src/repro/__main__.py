@@ -32,6 +32,13 @@ Commands:
   radius is the faulty tenant on S-NIC and the device on commodity
   (``--quick`` for CI, ``--matrix`` for all twelve classes,
   ``--seed N`` for a replayable schedule)
+* ``slo``     — the per-tenant SLO scorecard: run hundreds of
+  Zipf-skewed tenants under each bus arbiter, aggregate sim-time
+  windows, fire SRE burn-rate alerts, and judge every tenant's
+  p99-latency / throughput-floor / interference-budget /
+  teardown-deadline objectives (``--quick``, ``--tenants N``,
+  ``--violation-demo`` for the seeded alert self-test,
+  ``--openmetrics PATH`` for the OpenMetrics export)
 * ``postmortem`` — inspect a forensics bundle dropped by ``chaos`` or
   ``matrix`` (``--postmortem-dir``): pretty-print the flight-recorder
   tail and audit excerpt, ``--verify`` the sha256 hash chain, or
@@ -70,6 +77,9 @@ _COMMANDS = {
              "shared resource (--quick)",
     "chaos": "fault-injection blast-radius differential, commodity vs "
              "S-NIC (--quick, --matrix, --seed N, --postmortem-dir DIR)",
+    "slo": "per-tenant SLO scorecard with burn-rate alerts across "
+           "arbiters (--quick, --tenants N, --violation-demo, "
+           "--openmetrics PATH)",
     "postmortem": "inspect a forensics bundle: pretty-print, --verify "
                   "the hash chain, --diff two bundles",
     "lint": "S-NIC-specific static analysis SNIC001-SNIC008 "
@@ -89,8 +99,8 @@ def _info() -> None:
     print("subpackages:", ", ".join(repro.__all__))
     print()
     print("commands: python -m repro "
-          "[info|report|attacks|trace|matrix|bench|audit|chaos|postmortem|"
-          "lint|dataflow|sanitize]")
+          "[info|report|attacks|trace|matrix|bench|audit|chaos|slo|"
+          "postmortem|lint|dataflow|sanitize]")
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
     print("matrix:   python -m repro matrix [--quick] [--seed N] "
@@ -99,6 +109,9 @@ def _info() -> None:
           "[--format text|json|markdown] [--out PATH]")
     print("chaos:    python -m repro chaos [--seed N] [--matrix] [--quick] "
           "[--format text|json|markdown] [--postmortem-dir DIR]")
+    print("slo:      python -m repro slo [--quick] [--tenants N] "
+          "[--violation-demo] [--format text|json|csv] "
+          "[--openmetrics PATH]")
     print("forensics: python -m repro postmortem BUNDLE "
           "[--verify] [--diff OTHER] [--tail N]")
     print("analysis: python -m repro lint [--format github] [--stats]; "
@@ -300,6 +313,10 @@ def main(argv: list) -> int:
         from repro.faults.chaos import main as chaos_main
 
         return chaos_main(argv[2:])
+    elif command == "slo":
+        from repro.obs.scorecard import main as slo_main
+
+        return slo_main(argv[2:])
     elif command == "postmortem":
         from repro.obs.postmortem import main as postmortem_main
 

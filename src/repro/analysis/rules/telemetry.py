@@ -20,6 +20,13 @@ to a stricter contract: a wait means nothing without *both* sides of the
 edge, so the mint must carry ``tenant=`` (the victim) **and**
 ``culprit=``.  A victim-only interference counter is exactly the
 half-attributed telemetry this PR class exists to prevent.
+
+SLO metrics (name literal starting with ``slo_``, the
+:mod:`repro.obs.slo` families) get the same escalation on the other
+axis: an SLO is *per tenant by definition* — a tenantless SLO latency
+histogram cannot be judged against anyone's objectives — so the usual
+``tenant=None`` infrastructure escape hatch is rejected; the mint must
+carry a real tenant.
 """
 
 from __future__ import annotations
@@ -54,7 +61,8 @@ class UntaggedTelemetryRule(Rule):
                  "makes cross-tenant interference unattributable")
     hint = ("pass tenant=<nf_id> (or an explicit tenant=None for "
             "infrastructure events) on the emission call; interference_* "
-            "metrics additionally need culprit=<nf_id>")
+            "metrics additionally need culprit=<nf_id>; slo_* metrics "
+            "need a real tenant (tenant=None is rejected)")
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         if module.modname.startswith(EXCLUDED_MODULES):
@@ -83,11 +91,30 @@ class UntaggedTelemetryRule(Rule):
                             f"attribution metric {metric_name!r} without "
                             + " and ".join(f"{label}=" for label in missing)
                             + " (both victim and culprit are required)")
+                elif metric_name is not None \
+                        and metric_name.startswith("slo_"):
+                    if not has_keyword(node, "tenant") \
+                            or _keyword_is_none(node, "tenant"):
+                        yield self.finding(
+                            module, node,
+                            f"registry.{method}() mints SLO metric "
+                            f"{metric_name!r} without a real tenant= "
+                            f"label (SLOs are per-tenant by definition; "
+                            f"tenant=None is not attributable)")
                 elif not has_keyword(node, "tenant"):
                     yield self.finding(
                         module, node,
                         f"registry.{method}() mints an instrument with "
                         f"no tenant label")
+
+
+def _keyword_is_none(node: ast.Call, name: str) -> bool:
+    """True when ``name=None`` is passed as a literal keyword."""
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return isinstance(keyword.value, ast.Constant) \
+                and keyword.value.value is None
+    return False
 
 
 def _metric_name_literal(node: ast.Call) -> "str | None":

@@ -18,7 +18,7 @@ giving latency/throughput distributions for full-system experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.hw.events import Simulator
 from repro.net.packet import Packet
@@ -82,8 +82,14 @@ class SNICRuntime:
         self.poll_interval_ns = poll_interval_ns
         self.service_ns_per_packet = service_ns_per_packet
         self.stats = RuntimeStats()
+        #: Optional completion observer, invoked as
+        #: ``on_complete(nf_id, latency_ns, departure_ns)`` for every
+        #: packet — how the SLO scorecard feeds per-tenant latency
+        #: histograms at sim time without wrapping the runtime.
+        self.on_complete: Optional[Callable[[int, int, int], None]] = None
         self._functions: Dict[int, NetworkFunction] = {}
         self._arrival_by_identity: Dict[int, List[int]] = {}
+        self._last_arrival_ns = 0
         if _TRACER.enabled:
             # Put every subsequent trace event on this run's simulated
             # clock, so hardware spans and packet spans share one axis.
@@ -100,6 +106,8 @@ class SNICRuntime:
     def inject(self, packets: Sequence[Packet]) -> None:
         """Schedule packet arrivals at their ``arrival_ns`` timestamps."""
         for packet in packets:
+            self._last_arrival_ns = max(self._last_arrival_ns,
+                                        packet.arrival_ns)
             self.sim.schedule_at(
                 packet.arrival_ns, lambda p=packet: self._on_arrival(p)
             )
@@ -170,6 +178,9 @@ class SNICRuntime:
             _TRACER.complete(
                 "packet.e2e", arrival_ns, self.sim.now_ns - arrival_ns,
                 tenant=nf_id, track="packet-latency", cat="runtime")
+        if self.on_complete is not None:
+            self.on_complete(nf_id, self.sim.now_ns - arrival_ns,
+                             self.sim.now_ns)
 
     # ------------------------------------------------------------------
 
@@ -193,7 +204,9 @@ class SNICRuntime:
                     self.snic.record(nf_id).vpp.rx_ring.occupancy
                     for nf_id in self._functions
                 )
-                if not pending_work and not self.snic.rx_port._staged:
+                arrivals_pending = self.sim.now_ns <= self._last_arrival_ns
+                if (not pending_work and not self.snic.rx_port._staged
+                        and not arrivals_pending):
                     horizon += 1
                     if horizon >= 3:
                         break

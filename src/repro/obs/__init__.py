@@ -48,6 +48,13 @@ hot layer:
   (flight tail, audit excerpt + chain head, metrics snapshot,
   interference attribution, active ScenarioSpec), plus the
   ``python -m repro postmortem`` pretty-print/verify/diff CLI.
+* :mod:`repro.obs.slo` / :mod:`repro.obs.windows` /
+  :mod:`repro.obs.openmetrics` / :mod:`repro.obs.scorecard` — the
+  per-tenant SLO layer behind ``python -m repro slo``: frozen
+  ``SLOSpec``/``TenantSLO`` objectives attached to scenario tenants,
+  sim-time windowed delta aggregation, SRE multi-window burn-rate
+  alerting (page/ticket tiers, audit-logged), an OpenMetrics text
+  exporter + strict checker, and the arbiter-sweep scorecard CLI.
 
 Quickstart::
 
@@ -112,8 +119,22 @@ from repro.obs.postmortem import (
     verify_bundle,
     write_bundle,
 )
+from repro.obs.openmetrics import render as render_openmetrics
+from repro.obs.openmetrics import validate_text as validate_openmetrics
+from repro.obs.openmetrics import write as write_openmetrics
 from repro.obs.profile import Profiler, profile_cotenancy_scenario
+from repro.obs.slo import (
+    BurnRateAlert,
+    BurnRateAlerter,
+    BurnRateTier,
+    ObjectiveResult,
+    SLOError,
+    SLOSpec,
+    TenantSLO,
+    evaluate_tenant,
+)
 from repro.obs.timeseries import Series, TimeSeriesSampler, sample_function
+from repro.obs.windows import WindowedAggregator, WindowSnapshot
 from repro.obs.tracer import (
     NOOP_SPAN,
     TraceEvent,
@@ -126,6 +147,9 @@ from repro.obs.tracer import (
 __all__ = [
     "AuditEmitter",
     "AuditLog",
+    "BurnRateAlert",
+    "BurnRateAlerter",
+    "BurnRateTier",
     "Counter",
     "FlightEntry",
     "FlightRecorder",
@@ -135,11 +159,17 @@ __all__ = [
     "InterferenceAccountant",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "ObjectiveResult",
     "Profiler",
+    "SLOError",
+    "SLOSpec",
     "Series",
+    "TenantSLO",
     "TimeSeriesSampler",
     "TraceEvent",
     "Tracer",
+    "WindowSnapshot",
+    "WindowedAggregator",
     "blame_matrix",
     "build_bundle",
     "cross_tenant_events",
@@ -151,6 +181,7 @@ __all__ = [
     "enable_audit_log",
     "enable_flight_recording",
     "enable_tracing",
+    "evaluate_tenant",
     "format_matrix",
     "format_metrics_table",
     "get_accountant",
@@ -164,13 +195,16 @@ __all__ = [
     "metrics_rows",
     "metrics_to_csv",
     "profile_cotenancy_scenario",
+    "render_openmetrics",
     "reset_metrics",
     "sample_function",
     "to_chrome_trace",
+    "validate_openmetrics",
     "verify_bundle",
     "verify_records",
     "write_bundle",
     "write_chrome_trace",
     "write_metrics_csv",
     "write_metrics_json",
+    "write_openmetrics",
 ]

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.scenario.spec import (
     ArbiterSpec,
@@ -219,8 +219,17 @@ class BuiltScenario:
         from repro.net.rules import MatchRule, Prefix
 
         topo = self.spec.topology
+        l2_config = None
+        if topo.l2_ways is not None:
+            from repro.hw.cache import CacheConfig
+
+            # Fixed 256-set geometry: size must divide into sets evenly,
+            # so widening associativity scales the size with it.
+            l2_config = CacheConfig(size_bytes=topo.l2_ways * 64 * 256,
+                                    line_bytes=64, ways=topo.l2_ways)
         self.snic = SNIC(n_cores=topo.n_cores,
                          dram_bytes=topo.dram_mb * MB,
+                         l2_config=l2_config,
                          key_seed=topo.key_seed)
         self.nic_os = NICOS(self.snic)
         self.host_memory = HostMemory(2 * MB)
@@ -366,7 +375,9 @@ class BuiltScenario:
     # -- the default driver --------------------------------------------
 
     def drive(self, quick: bool = False,
-              rounds: Optional[int] = None) -> Dict[str, object]:
+              rounds: Optional[int] = None,
+              on_round: Optional[Callable[[int, float], None]] = None,
+              ) -> Dict[str, object]:
         """Run the generic two-phase experiment and return its outputs.
 
         Phase 1 pushes the spec's traffic through the event-driven
@@ -376,6 +387,11 @@ class BuiltScenario:
         escalate to uncatchable errors (an NF crash without a
         supervisor) propagate to the caller; the context manager still
         tears the deployment down.
+
+        ``on_round`` is invoked after each phase-2 contention round with
+        ``(round_index, round_end_ns)`` — phase 2 advances hand-stepped
+        timestamps outside the event kernel, so observers that window on
+        sim time (the SLO aggregator) rotate through this hook.
         """
         if not self._deployed:
             raise ScenarioBuildError("deploy() the scenario before driving it")
@@ -404,7 +420,7 @@ class BuiltScenario:
                     targets[FaultKind.NIC_OS_STALL] = self.nic_os
                 self.injector.arm_all(targets or None)
             stats = self._drive_packets()
-            contention = self._drive_contention(rounds)
+            contention = self._drive_contention(rounds, on_round=on_round)
         finally:
             if self.injector is not None:
                 self.injector.uninstall()
@@ -435,7 +451,9 @@ class BuiltScenario:
             return self.runtime.run()
         return self.runtime.stats
 
-    def _drive_contention(self, rounds: int) -> Dict[str, object]:
+    def _drive_contention(self, rounds: int,
+                          on_round: Optional[Callable[[int, float], None]]
+                          = None) -> Dict[str, object]:
         """Phase 2: every tenant hits the shared bus, DMA, and DRAM.
 
         The victim (first tenant) is the measurement point; the last
@@ -491,6 +509,8 @@ class BuiltScenario:
                 done_at = rig.dram.access(nf_id, dram_bytes, issue)
                 if nf_id == victim:
                     dram_wait += done_at - issue
+            if on_round is not None:
+                on_round(round_index, base + period_ns)
         return {
             "bus_wait_ns_victim": float(bus_wait),
             "dma_wait_ns_victim": float(dma_wait),

@@ -163,7 +163,8 @@ def cell_spec(cell: MatrixCell, quick: bool = False) -> ScenarioSpec:
 
 def run_cell(cell: MatrixCell, quick: bool = False,
              sanitize: bool = False,
-             postmortem_dir: Optional[str] = None) -> "object":
+             postmortem_dir: Optional[str] = None,
+             spec: Optional[ScenarioSpec] = None) -> "object":
     """Run one cell under full state isolation; never raises.
 
     Returns a :class:`repro.obs.bench.BenchRecord` — the matrix reuses
@@ -171,6 +172,10 @@ def run_cell(cell: MatrixCell, quick: bool = False,
     ``wall_s`` is deliberately left at ``0.0``: matrix reports must be
     byte-identical across same-seed runs, so no wall-clock value may
     land in them.
+
+    ``spec`` overrides the generated :func:`cell_spec` — how
+    ``--spec FILE`` scenarios run through the same machinery; the
+    record is then named after the spec, not the cell.
 
     With ``postmortem_dir`` set, the flight recorder and audit log are
     armed for the cell and any error drops a forensics bundle
@@ -190,7 +195,9 @@ def run_cell(cell: MatrixCell, quick: bool = False,
     )
     from repro.scenario.build import build_scenario
 
-    record = BenchRecord(name=cell.name)
+    if spec is None:
+        spec = cell_spec(cell, quick=quick)
+    record = BenchRecord(name=spec.name)
     _isolate()
     forensic = postmortem_dir is not None
     if forensic:
@@ -202,7 +209,7 @@ def run_cell(cell: MatrixCell, quick: bool = False,
     try:
         scope = sanitized() if sanitize else contextlib.nullcontext()
         with scope:
-            with build_scenario(cell_spec(cell, quick=quick)) as built:
+            with build_scenario(spec) as built:
                 outputs = built.drive(quick=quick)
         record.outputs = jsonable(outputs)
     except Exception as exc:
@@ -212,13 +219,13 @@ def run_cell(cell: MatrixCell, quick: bool = False,
             from repro.obs import postmortem as postmortem_mod
 
             bundle = postmortem_mod.build_bundle(
-                reason=exc, spec=cell_spec(cell, quick=quick),
+                reason=exc, spec=spec,
                 flight=flight_mod.get_flight_recorder(),
                 audit=auditlog_mod.get_audit_log(),
                 registry=metrics.get_registry())
             postmortem_mod.write_bundle(
                 bundle,
-                postmortem_mod.bundle_path(postmortem_dir, cell.name))
+                postmortem_mod.bundle_path(postmortem_dir, spec.name))
     finally:
         stats = hw_events.kernel_stats()
         record.sim_time_ns = stats["sim_ns_advanced"]
@@ -330,6 +337,69 @@ def run_matrix(
     }
 
 
+def load_spec(path: str) -> ScenarioSpec:
+    """Load a JSON ``ScenarioSpec`` file (``--spec FILE``).
+
+    The file holds exactly what :meth:`ScenarioSpec.to_dict` emits (see
+    ``examples/slo_scenario.json``); :meth:`ScenarioSpec.from_dict` runs
+    the full validation, so a malformed file fails with a ``SpecError``
+    naming the bad field rather than a deep builder traceback.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return ScenarioSpec.from_dict(data)
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    quick: bool = False,
+    sanitize: bool = False,
+    progress=None,
+    postmortem_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run explicit specs (from ``--spec`` files) as a one-off matrix.
+
+    Each spec becomes one cell whose coordinates are read *off* the
+    spec (model, tenant count, fault class, arbiter, seed), so the
+    report keeps the sweep schema and every formatter/CI consumer
+    works unchanged.
+    """
+    entries: List[Dict[str, object]] = []
+    n_ok = n_error = 0
+    for spec in specs:
+        cell = MatrixCell(
+            nic_model=spec.topology.nic_model,
+            tenant_count=len(spec.tenants),
+            fault_class=spec.fault.kind if spec.fault else "none",
+            arbiter=spec.topology.arbiter.policy,
+            seed=spec.seed)
+        record = run_cell(cell, quick=quick, sanitize=sanitize,
+                          postmortem_dir=postmortem_dir, spec=spec)
+        if record.status == "ok":
+            n_ok += 1
+        else:
+            n_error += 1
+        entries.append({"cell": cell.as_dict(), "record": record.as_dict()})
+        if progress is not None:
+            progress(record)
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "record_schema": RECORD_SCHEMA,
+        "record_schema_version": RECORD_SCHEMA_VERSION,
+        "seed": specs[0].seed if specs else 0,
+        "reps": 1,
+        "mode": "spec",
+        "isosan_active": bool(sanitize),
+        "axes": {"spec": [spec.name for spec in specs]},
+        "n_cells": len(entries),
+        "n_ok": n_ok,
+        "n_error": n_error,
+        "cells": {entry["record"]["name"]: entry for entry in entries},
+        "summary": _summary_rows(entries),
+    }
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -433,6 +503,11 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
                         metavar="SUBSTR",
                         help="run only cells whose name contains SUBSTR "
                              "(repeatable)")
+    parser.add_argument("--spec", action="append", default=None,
+                        metavar="FILE",
+                        help="run a JSON ScenarioSpec file instead of the "
+                             "axis sweep (repeatable; see "
+                             "examples/slo_scenario.json)")
     parser.add_argument("--seed", type=int, default=7,
                         help="base seed; every cell seed derives from it "
                              "(default 7)")
@@ -452,9 +527,21 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     args = parser.parse_args(argv)
 
     sanitize = args.sanitize or enabled_by_env(default=False)
-    report = run_matrix(quick=args.quick, only=args.only, seed=args.seed,
-                        reps=args.reps, sanitize=sanitize,
-                        postmortem_dir=args.postmortem_dir)
+    if args.spec:
+        from repro.scenario.spec import SpecError
+
+        try:
+            specs = [load_spec(path) for path in args.spec]
+        except (OSError, ValueError, SpecError) as exc:
+            print(f"error: bad --spec file: {exc}", file=sys.stderr)
+            return 2
+        report = run_specs(specs, quick=args.quick, sanitize=sanitize,
+                           postmortem_dir=args.postmortem_dir)
+    else:
+        report = run_matrix(quick=args.quick, only=args.only,
+                            seed=args.seed, reps=args.reps,
+                            sanitize=sanitize,
+                            postmortem_dir=args.postmortem_dir)
     rendered = _FORMATTERS[args.format](report)
     stream.write(rendered)
     if args.out:

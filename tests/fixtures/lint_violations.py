@@ -66,6 +66,14 @@ def emit_half_attributed_interference(victim):
     registry.counter("interference_events_total", resource="bus").inc(1)
 
 
+def emit_unattributable_slo(latency_ns):
+    # SNIC004 (slo_* form): SLO metrics are per-tenant by definition,
+    # so the tenant=None infrastructure escape hatch is rejected and a
+    # missing tenant= is equally bad.
+    registry.histogram("slo_latency_ns", tenant=None).observe(latency_ns)
+    registry.counter("slo_alerts_total").inc()
+
+
 def float_delay(latency_ns):
     # SNIC005: provably float-valued delay reaching the kernel.
     sim.schedule(latency_ns / 2, on_packet)

@@ -179,6 +179,23 @@ class TestRuleBehaviour:
                 "    registry.counter('bytes_total', tenant=1)\n")
         assert not [f for f in lint_source(text) if f.rule == "SNIC004"]
 
+    def test_snic004_slo_metric_rejects_tenant_none(self):
+        none_tenant = ("def f(registry):\n"
+                       "    registry.histogram('slo_latency_ns',\n"
+                       "                       tenant=None)\n")
+        findings = [f for f in lint_source(none_tenant)
+                    if f.rule == "SNIC004"]
+        assert findings and "slo_latency_ns" in findings[0].message
+
+        missing = ("def f(registry):\n"
+                   "    registry.counter('slo_alerts_total')\n")
+        findings = [f for f in lint_source(missing) if f.rule == "SNIC004"]
+        assert findings and "slo_alerts_total" in findings[0].message
+
+        real = ("def f(registry, nf_id):\n"
+                "    registry.histogram('slo_latency_ns', tenant=nf_id)\n")
+        assert not [f for f in lint_source(real) if f.rule == "SNIC004"]
+
     def test_snic005_float_delay(self):
         dirty = "def f(sim, ns):\n    sim.schedule(ns / 2, f)\n"
         clean = "def f(sim, ns):\n    sim.schedule(ns // 2, f)\n"

@@ -105,6 +105,101 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", (), bounds=(10.0, 5.0))
 
+    def test_exact_boundary_values_land_in_lower_bucket(self):
+        hist = Histogram("h", (), bounds=(10.0, 100.0))
+        hist.observe(10.0)   # == first bound: bucket (0, 10]
+        hist.observe(100.0)  # == second bound: bucket (10, 100]
+        assert hist.counts[0] == 1 and hist.counts[1] == 1
+        assert hist.counts[2] == 0
+
+    def test_percentile_extremes_q0_and_q100(self):
+        hist = Histogram("h", (), bounds=(10.0, 100.0, 1000.0))
+        for value in (5.0, 50.0, 500.0):
+            hist.observe(value)
+        # q=0 clamps to the observed min, q=100 to the observed max.
+        assert hist.percentile(0) == 5.0
+        assert hist.percentile(100) == 500.0
+
+    def test_single_observation_every_percentile_equal(self):
+        hist = Histogram("h", ())
+        hist.observe(42.0)
+        for q in (0, 1, 50, 99, 100):
+            assert hist.percentile(q) == 42.0
+
+
+class TestHistogramMerge:
+    def test_merge_counts_sum_and_extrema(self):
+        left = Histogram("h", (), bounds=(10.0, 100.0))
+        right = Histogram("h", (), bounds=(10.0, 100.0))
+        left.observe(5.0)
+        right.observe(50.0)
+        right.observe(500.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.sum == pytest.approx(555.0)
+        assert left.min == 5.0 and left.max == 500.0
+        assert left.counts == [1, 1, 1]
+
+    def test_merge_empty_other_is_identity(self):
+        left = Histogram("h", (), bounds=(10.0,))
+        left.observe(3.0)
+        before = (list(left.counts), left.count, left.sum,
+                  left.min, left.max)
+        left.merge(Histogram("h", (), bounds=(10.0,)))
+        assert (list(left.counts), left.count, left.sum,
+                left.min, left.max) == before
+
+    def test_merge_rejects_bounds_mismatch(self):
+        left = Histogram("h", (), bounds=(10.0, 100.0))
+        right = Histogram("h", (), bounds=(10.0, 200.0))
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_rejects_non_histogram(self):
+        with pytest.raises(TypeError):
+            Histogram("h", ()).merge(Counter("c", ()))
+
+    def test_merge_then_percentile_equals_direct_observation(self):
+        # The windowed-aggregation equivalence: observing a stream into
+        # shards and merging must answer percentiles identically to one
+        # histogram that saw everything.
+        samples = [3.0, 17.0, 42.0, 99.0, 250.0, 800.0, 4_000.0, 42.0]
+        direct = Histogram("h", ())
+        shards = [Histogram("h", ()) for _ in range(3)]
+        for i, value in enumerate(samples):
+            direct.observe(value)
+            shards[i % 3].observe(value)
+        merged = Histogram("h", ())
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.counts == direct.counts
+        assert merged.count == direct.count
+        assert merged.sum == direct.sum
+        assert merged.min == direct.min and merged.max == direct.max
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert merged.percentile(q) == direct.percentile(q)
+
+    def test_registry_merge_from(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("slo_alerts_total", tenant=1).inc(1)
+        theirs.counter("slo_alerts_total", tenant=1).inc(2)
+        theirs.counter("slo_alerts_total", tenant=2).inc(5)
+        theirs.histogram("slo_latency_ns", tenant=1).observe(700.0)
+        merged = ours.merge_from(theirs)
+        assert merged == 3
+        assert ours.counter("slo_alerts_total", tenant=1).value == 3
+        assert ours.counter("slo_alerts_total", tenant=2).value == 5
+        assert ours.histogram("slo_latency_ns", tenant=1).count == 1
+
+    def test_registry_merge_from_type_conflict(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("x_total", tenant=1)
+        theirs.gauge("x_total", tenant=1)
+        with pytest.raises(TypeError):
+            ours.merge_from(theirs)
+
 
 class TestRegistry:
     def test_get_or_create_same_labels_same_object(self):

@@ -1,0 +1,117 @@
+"""Tests for repro.obs.scorecard: spec factories, demo, CLI, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.openmetrics import validate_text
+from repro.obs.scorecard import (
+    EXPECTED_DEMO_ALERTS,
+    format_csv,
+    format_json,
+    format_text,
+    main as scorecard_main,
+    make_scorecard_spec,
+    make_violation_spec,
+    run_scorecard,
+    run_violation_demo,
+)
+
+
+class TestSpecFactories:
+    def test_scorecard_spec_scales_with_tenant_count(self):
+        spec = make_scorecard_spec("temporal", 16, seed=7, quick=True)
+        assert len(spec.tenants) == 16
+        assert spec.topology.n_cores == 16
+        assert spec.topology.l2_ways == 16 + 8
+        assert spec.topology.dram_mb == 2 * 16 + 64
+        assert spec.topology.arbiter.policy == "temporal"
+        # Every tenant carries the default SLO contract.
+        assert all(t.slo is not None for t in spec.tenants)
+
+    def test_scorecard_spec_seed_derivation_separates_arbiters(self):
+        fcfs = make_scorecard_spec("fcfs", 8, seed=7, quick=True)
+        drr = make_scorecard_spec("drr", 8, seed=7, quick=True)
+        assert fcfs.seed != drr.seed
+        again = make_scorecard_spec("fcfs", 8, seed=7, quick=True)
+        assert again.seed == fcfs.seed
+
+    def test_violation_spec_shape(self):
+        spec = make_violation_spec(seed=7)
+        names = [t.name for t in spec.tenants]
+        assert names == ["t1", "t2", "t3", "t4"]
+        assert spec.topology.arbiter.policy == "fcfs"
+        # t1 is the tight-latency victim, t2 the zero-interference one.
+        t1, t2 = spec.tenants[0], spec.tenants[1]
+        assert t1.slo.objective("p99_latency_ns").threshold == 1000.0
+        assert t2.slo.objective("interference_budget_ns").threshold == 0.0
+
+
+class TestViolationDemo:
+    def test_demo_fires_exactly_the_expected_alerts(self):
+        report = run_violation_demo(seed=7)
+        assert report["alerts_match"] is True
+        assert report["observed_alerts"] == \
+            sorted(list(a) for a in EXPECTED_DEMO_ALERTS)
+
+    def test_demo_audit_chain_intact(self):
+        report = run_violation_demo(seed=7)
+        (result,) = report["arbiters"].values()
+        assert result["audit"]["chain_ok"] is True
+        assert result["audit"]["records"] > 0
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scorecard(n_tenants=8, seed=7, quick=True,
+                             arbiters=("fcfs", "temporal"))
+
+    def test_report_schema(self, report):
+        assert report["schema"] == "repro.slo"
+        assert report["n_tenants"] == 8
+        assert set(report["arbiters"]) == {"fcfs", "temporal"}
+        for result in report["arbiters"].values():
+            assert len(result["tenants"]) == 8
+
+    def test_temporal_isolates_where_fcfs_interferes(self, report):
+        rows = {r["arbiter"]: r for r in report["summary"]}
+        assert rows["temporal"]["cross_tenant_wait_ns"] == 0.0
+        assert rows["temporal"]["n_fail"] == 0
+        assert rows["fcfs"]["cross_tenant_wait_ns"] > 0.0
+
+    def test_deterministic_for_fixed_seed(self, report):
+        again = run_scorecard(n_tenants=8, seed=7, quick=True,
+                              arbiters=("fcfs", "temporal"))
+        assert format_json(again) == format_json(report)
+
+    def test_formatters_render(self, report):
+        assert json.loads(format_json(report))["n_tenants"] == 8
+        csv_lines = format_csv(report).strip().splitlines()
+        assert len(csv_lines) == 1 + 2 * 8  # header + tenants x arbiters
+        assert format_text(report).startswith("repro slo — quick mode")
+
+
+class TestCLI:
+    def test_cli_json_and_openmetrics_export(self, tmp_path, capsys):
+        out = tmp_path / "slo.json"
+        om = tmp_path / "slo.om"
+        code = scorecard_main(["--quick", "--tenants", "8",
+                               "--arbiters", "temporal",
+                               "--format", "json",
+                               "--openmetrics", str(om),
+                               "-o", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["n_tenants"] == 8
+        assert validate_text(om.read_text()) == []
+        capsys.readouterr()
+
+    def test_cli_violation_demo_self_check(self, capsys):
+        assert scorecard_main(["--violation-demo"]) == 0
+        assert "alerts_match" not in capsys.readouterr().err
+
+    def test_cli_rejects_unknown_arbiter(self, capsys):
+        assert scorecard_main(["--quick", "--tenants", "4",
+                               "--arbiters", "lottery"]) == 2
+        capsys.readouterr()

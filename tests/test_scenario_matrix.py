@@ -14,9 +14,12 @@ from repro.scenario.matrix import (
     format_csv,
     format_json,
     format_text,
+    load_spec,
     run_cell,
     run_matrix,
+    run_specs,
 )
+from repro.scenario.matrix import main as matrix_main
 
 
 def one_cell(**overrides) -> MatrixCell:
@@ -138,3 +141,43 @@ class TestReport:
         lines = format_csv(report).strip().splitlines()
         assert len(lines) == 1 + report["n_cells"]
         assert lines[0].startswith("name,nic_model,tenant_count")
+
+
+class TestSpecFiles:
+    def test_load_spec_validates_the_example_file(self):
+        spec = load_spec("examples/slo_scenario.json")
+        assert spec.name == "example-two-tenant-slo"
+        assert spec.tenants[0].slo is not None
+
+    def test_run_specs_report_schema(self):
+        spec = load_spec("examples/slo_scenario.json")
+        report = run_specs([spec], quick=True)
+        assert report["mode"] == "spec"
+        assert report["axes"] == {"spec": [spec.name]}
+        assert report["n_cells"] == 1 and report["n_error"] == 0
+        entry = report["cells"][spec.name]
+        assert entry["record"]["name"] == spec.name
+        assert entry["cell"]["arbiter"] == spec.topology.arbiter.policy
+        assert entry["cell"]["tenant_count"] == len(spec.tenants)
+
+    def test_run_cell_spec_override_names_record_after_spec(self):
+        spec = load_spec("examples/slo_scenario.json")
+        record = run_cell(one_cell(), quick=True, spec=spec)
+        assert record.name == spec.name
+        assert record.status == "ok"
+
+    def test_cli_spec_flag(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = matrix_main(["--spec", "examples/slo_scenario.json",
+                            "--quick", "--format", "json",
+                            "-o", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["mode"] == "spec" and report["n_error"] == 0
+        capsys.readouterr()
+
+    def test_cli_rejects_bad_spec_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        assert matrix_main(["--spec", str(bad), "--quick"]) == 2
+        assert "bad --spec file" in capsys.readouterr().err

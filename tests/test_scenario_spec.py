@@ -135,3 +135,54 @@ class TestRoundTrip:
         assert nf.param("rules") == 16
         assert nf.param("missing", 5) == 5
         hash(nf)  # frozen + tuple-backed params stay hashable
+
+
+class TestTenantSLO:
+    def _slo_dict(self):
+        return {"objectives": [
+            {"kind": "p99_latency_ns", "threshold": 5000.0, "target": 0.99},
+            {"kind": "interference_budget_ns", "threshold": 0.0,
+             "target": 1.0},
+        ]}
+
+    def test_slo_dict_coerced_to_tenant_slo(self):
+        from repro.obs.slo import TenantSLO
+
+        tenant = TenantSpec(name="a", nf=NFSpec(kind="monitor"),
+                            dst_prefix="20.0.0.0/8", slo=self._slo_dict())
+        assert isinstance(tenant.slo, TenantSLO)
+        assert tenant.slo.objective("p99_latency_ns").threshold == 5000.0
+
+    def test_bad_slo_names_the_tenant(self):
+        with pytest.raises(SpecError, match="tenant 'a'"):
+            TenantSpec(name="a", nf=NFSpec(kind="monitor"),
+                       dst_prefix="20.0.0.0/8",
+                       slo={"objectives": [
+                           {"kind": "availability", "threshold": 0.999}]})
+
+    def test_slo_round_trips_through_json(self):
+        tenants = (
+            TenantSpec(name="a", nf=NFSpec(kind="monitor"),
+                       dst_prefix="20.0.0.0/8", slo=self._slo_dict()),
+            TenantSpec(name="b", nf=NFSpec(kind="monitor"),
+                       dst_prefix="30.0.0.0/8"),
+        )
+        spec = demo_spec(tenants=tenants, fault=None)
+        data = json.loads(json.dumps(spec.to_dict()))
+        clone = ScenarioSpec.from_dict(data)
+        assert clone == spec
+        assert clone.tenants[0].slo == spec.tenants[0].slo
+        assert clone.tenants[1].slo is None
+
+
+class TestL2Ways:
+    def test_l2_ways_round_trips(self):
+        topo = TopologySpec(nic_model="snic", n_cores=4,
+                            arbiter=ArbiterSpec(policy="temporal"),
+                            l2_ways=12)
+        spec = demo_spec(topology=topo)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_l2_ways_floor_enforced(self):
+        with pytest.raises(SpecError, match="l2_ways"):
+            TopologySpec(nic_model="snic", n_cores=4, l2_ways=1)
