@@ -12,15 +12,16 @@ Commands:
   ``{nic_model} x {tenant_count} x {fault_class} x {arbiter} x {seed}``
   and emit one schema-versioned record per cell
   (``--quick`` for the 16-cell CI gate, ``--format text|json|csv``,
-  ``--sanitize`` to run every cell under IsoSan; same ``--seed`` gives
-  byte-identical reports)
+  ``--sanitize`` to run every cell under IsoSan, ``--shards N`` to run
+  each cell on the sharded co-simulation engine; same ``--seed`` gives
+  byte-identical reports at any shard count)
 * ``bench``   — run the unified benchmark harness over every
   ``benchmarks/bench_*.py`` scenario and write a schema-versioned
   ``BENCH_<timestamp>.json`` (``--quick`` for CI-sized runs,
   ``--profile`` for a flamegraph of the co-tenancy scenario,
   ``--compare A B`` to diff two artifacts and flag regressions,
   ``--sanitize`` to run every scenario under the IsoSan runtime
-  sanitizer)
+  sanitizer, ``--shards N`` to deal the scenarios to worker processes)
 * ``audit``   — the isolation scorecard: solo-vs-co-tenant differential
   on every shared hardware resource under the commodity and S-NIC
   configurations, with per-resource interference matrices, side-channel
@@ -38,7 +39,8 @@ Commands:
   p99-latency / throughput-floor / interference-budget /
   teardown-deadline objectives (``--quick``, ``--tenants N``,
   ``--violation-demo`` for the seeded alert self-test,
-  ``--openmetrics PATH`` for the OpenMetrics export)
+  ``--openmetrics PATH`` for the OpenMetrics export, ``--shards N``
+  for the sharded engine with byte-identical reports)
 * ``postmortem`` — inspect a forensics bundle dropped by ``chaos`` or
   ``matrix`` (``--postmortem-dir``): pretty-print the flight-recorder
   tail and audit excerpt, ``--verify`` the sha256 hash chain, or
@@ -52,7 +54,8 @@ Commands:
   baseline (``--format text|json|github``, ``--manifest PATH`` writes
   the shard-safety manifest for the sharding refactor)
 * ``sanitize`` — determinism checker: run the co-tenancy demo twice
-  and fail on event-stream digest divergence
+  and fail on event-stream digest divergence (``--shards`` also
+  asserts the sharded engine's worker-count invariance)
 * ``info``    — version + package inventory (default)
 """
 
@@ -70,16 +73,16 @@ _COMMANDS = {
     "trace": "run a registered scenario with tracing on; export a "
              "Chrome trace (--scenario NAME, --list)",
     "matrix": "sweep {nic_model} x {tenant_count} x {fault_class} x "
-              "{arbiter}; one record per cell (--quick)",
+              "{arbiter}; one record per cell (--quick, --shards N)",
     "bench": "run benchmarks/bench_*.py under the unified harness "
-             "(--quick, --profile, --compare A B)",
+             "(--quick, --profile, --compare A B, --shards N)",
     "audit": "isolation scorecard: solo-vs-co-tenant differential per "
              "shared resource (--quick)",
     "chaos": "fault-injection blast-radius differential, commodity vs "
              "S-NIC (--quick, --matrix, --seed N, --postmortem-dir DIR)",
     "slo": "per-tenant SLO scorecard with burn-rate alerts across "
-           "arbiters (--quick, --tenants N, --violation-demo, "
-           "--openmetrics PATH)",
+           "arbiters (--quick, --tenants N, --shards N, "
+           "--violation-demo, --openmetrics PATH)",
     "postmortem": "inspect a forensics bundle: pretty-print, --verify "
                   "the hash chain, --diff two bundles",
     "lint": "S-NIC-specific static analysis SNIC001-SNIC008 "
@@ -87,7 +90,8 @@ _COMMANDS = {
     "dataflow": "whole-program taint + shard-safety analysis "
                 "SNIC009-SNIC010 (--manifest PATH, --write-baseline)",
     "sanitize": "determinism checker: same seed must give the same "
-                "event-stream digest",
+                "event-stream digest (--shards adds worker-count "
+                "invariance)",
     "help": "this table",
 }
 
@@ -104,13 +108,13 @@ def _info() -> None:
     print("tests:    pytest tests/")
     print("benches:  python -m repro bench [--quick|--profile|--compare A B]")
     print("matrix:   python -m repro matrix [--quick] [--seed N] "
-          "[--format text|json|csv] [--sanitize]")
+          "[--format text|json|csv] [--sanitize] [--shards N]")
     print("audit:    python -m repro audit [--quick] "
           "[--format text|json|markdown] [--out PATH]")
     print("chaos:    python -m repro chaos [--seed N] [--matrix] [--quick] "
           "[--format text|json|markdown] [--postmortem-dir DIR]")
     print("slo:      python -m repro slo [--quick] [--tenants N] "
-          "[--violation-demo] [--format text|json|csv] "
+          "[--shards N] [--violation-demo] [--format text|json|csv] "
           "[--openmetrics PATH]")
     print("forensics: python -m repro postmortem BUNDLE "
           "[--verify] [--diff OTHER] [--tail N]")
@@ -239,9 +243,17 @@ def _bench(argv: list) -> int:
                         help="run every scenario under the IsoSan runtime "
                              "sanitizer (isolation violations become "
                              "scenario errors)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="deal the bench scripts to N shard worker "
+                             "processes (round-robin; the artifact keeps "
+                             "discovery order)")
     args = parser.parse_args(argv)
 
     from repro.obs import bench
+
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
 
     if args.compare:
         report = bench.compare_paths(args.compare[0], args.compare[1],
@@ -261,17 +273,26 @@ def _bench(argv: list) -> int:
     mode = "quick" if args.quick else "full"
     suffix = " [IsoSan]" if args.sanitize else ""
     print(f"repro bench — {mode} run over benchmarks/bench_*.py{suffix}")
+    def _run():
+        if args.shards is not None:
+            from repro.shard.engine import run_benchmarks_sharded
+
+            # Workers fork inside this call, so a surrounding
+            # sanitized() scope travels into every shard process.
+            return run_benchmarks_sharded(
+                quick=args.quick, only=args.only, capture=not args.verbose,
+                progress=progress, workers=args.shards)
+        return bench.run_benchmarks(
+            quick=args.quick, only=args.only, capture=not args.verbose,
+            progress=progress)
+
     if args.sanitize:
         from repro.analysis.isosan import sanitized
 
         with sanitized():
-            artifact = bench.run_benchmarks(
-                quick=args.quick, only=args.only, capture=not args.verbose,
-                progress=progress)
+            artifact = _run()
     else:
-        artifact = bench.run_benchmarks(
-            quick=args.quick, only=args.only, capture=not args.verbose,
-            progress=progress)
+        artifact = _run()
     out_path = bench.write_artifact(artifact, args.out)
     print(f"\nwrote {out_path}: {artifact['n_ok']}/{artifact['n_benchmarks']} "
           f"scenarios ok in {artifact['total_wall_s']:.1f}s "

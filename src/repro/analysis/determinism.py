@@ -210,6 +210,48 @@ def check_cotenancy_determinism(n_packets: int = 60) -> DeterminismReport:
         return check_determinism(run, scenario="cotenancy-demo")
 
 
+def check_shard_invariance(
+    worker_counts: Sequence[int] = (1, 2, 4),
+    quick: bool = True,
+    seed: int = 7,
+) -> DeterminismReport:
+    """Assert the shard engine's worker-count invariance.
+
+    Runs one seeded matrix cell through
+    :func:`repro.shard.engine.run_cell_sharded` once per worker count
+    and requires the merged records to be byte-identical: the partition
+    plan lives in the spec, so ``--shards N`` must only change how the
+    partitions are scheduled onto processes, never what they compute.
+
+    The digest reuses :class:`RunDigest` with shard-flavoured fields:
+    the kernel tallies summed across shards (events/spans/sim-time) and
+    two hashes — the full merged record and just its ``outputs`` block.
+    """
+    from repro.scenario.matrix import default_axes, expand
+    from repro.shard.engine import run_cell_sharded
+
+    cell = expand(default_axes(quick=True), base_seed=seed, reps=1)[0]
+    report = DeterminismReport(scenario=f"shard-invariance:{cell.name}")
+    for workers in worker_counts:
+        record = run_cell_sharded(cell, quick=quick, workers=workers)
+        data = record.as_dict()
+        full = hashlib.sha256(
+            json.dumps(data, sort_keys=True).encode()).hexdigest()
+        outputs = hashlib.sha256(
+            json.dumps(data.get("outputs"),
+                       sort_keys=True).encode()).hexdigest()
+        report.digests.append(RunDigest(
+            event_count=record.events_executed,
+            span_count=record.trace_events,
+            final_ts_ns=float(record.sim_time_ns),
+            stream_sha256=full,
+            span_tree_sha256=outputs,
+        ))
+        report.summaries.append({"workers": workers,
+                                 "status": record.status})
+    return report
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI body for ``python -m repro sanitize``."""
     import argparse
@@ -219,16 +261,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="run the determinism checker over the co-tenancy demo")
     parser.add_argument("--packets", type=int, default=60,
                         help="packets per run (default 60)")
+    parser.add_argument("--shards", action="store_true",
+                        help="also assert shard-count invariance: one "
+                             "seeded matrix cell run at 1/2/4 shard "
+                             "workers must merge byte-identically")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
     args = parser.parse_args(argv)
 
-    report = check_cotenancy_determinism(n_packets=args.packets)
+    reports = [check_cotenancy_determinism(n_packets=args.packets)]
+    if args.shards:
+        reports.append(check_shard_invariance())
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2))
+        print(json.dumps([r.as_dict() for r in reports], indent=2)
+              if len(reports) > 1
+              else json.dumps(reports[0].as_dict(), indent=2))
     else:
-        print(report.render())
-    return 0 if report.deterministic else 1
+        print("\n".join(r.render() for r in reports))
+    return 0 if all(r.deterministic for r in reports) else 1
 
 
 if __name__ == "__main__":

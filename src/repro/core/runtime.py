@@ -25,8 +25,6 @@ from repro.net.packet import Packet
 from repro.nf.base import NetworkFunction
 from repro.obs.tracer import get_tracer
 
-_TRACER = get_tracer()
-
 
 @dataclass
 class PacketTiming:
@@ -90,10 +88,15 @@ class SNICRuntime:
         self._functions: Dict[int, NetworkFunction] = {}
         self._arrival_by_identity: Dict[int, List[int]] = {}
         self._last_arrival_ns = 0
-        if _TRACER.enabled:
+        self._began = False
+        # Bind the tracer at construction time, not import time: shard
+        # workers build their runtime after per-process isolation, so
+        # the instance must see *that* process's tracer singleton.
+        self._tracer = get_tracer()
+        if self._tracer.enabled:
             # Put every subsequent trace event on this run's simulated
             # clock, so hardware spans and packet spans share one axis.
-            _TRACER.use_clock(lambda: self.sim.now_ns)
+            self._tracer.use_clock(lambda: self.sim.now_ns)
 
     def attach(self, nf_id: int, nf: NetworkFunction) -> None:
         """Bind the behavioural NF that runs on ``nf_id``'s cores."""
@@ -115,7 +118,7 @@ class SNICRuntime:
     def _on_arrival(self, packet: Packet) -> None:
         self.snic.rx_port.wire_arrival(packet)
         delivered = self.snic.process_ingress()
-        tracer = _TRACER
+        tracer = self._tracer
         for nf_id, count in delivered.items():
             if nf_id == -1:
                 self.stats.dropped += count
@@ -146,10 +149,10 @@ class SNICRuntime:
                 if self._arrival_by_identity.get(nf_id) else self.sim.now_ns
             result = nf.process(Packet.from_bytes(frame))
             finish = self.sim.now_ns + served * self.service_ns_per_packet
-            if _TRACER.enabled:
+            if self._tracer.enabled:
                 # Serial per-core service: packet k occupies
                 # [now + (k-1)*service, now + k*service).
-                _TRACER.complete(
+                self._tracer.complete(
                     "nf.process",
                     finish - self.service_ns_per_packet,
                     self.service_ns_per_packet,
@@ -174,8 +177,8 @@ class SNICRuntime:
                 nf_id=nf_id, arrival_ns=arrival_ns, departure_ns=self.sim.now_ns
             )
         )
-        if _TRACER.enabled:
-            _TRACER.complete(
+        if self._tracer.enabled:
+            self._tracer.complete(
                 "packet.e2e", arrival_ns, self.sim.now_ns - arrival_ns,
                 tenant=nf_id, track="packet-latency", cat="runtime")
         if self.on_complete is not None:
@@ -186,34 +189,58 @@ class SNICRuntime:
 
     _running = False
 
-    def run(self, duration_ns: Optional[int] = None) -> RuntimeStats:
-        """Run the experiment until the queue drains (or ``duration_ns``)."""
+    def begin(self) -> None:
+        """Arm the poll loops without running the kernel.
+
+        The sharded execution path splits :meth:`run` into phases: the
+        shard engine grants virtual-time windows and the worker calls
+        :meth:`advance_to` per grant, then :meth:`drain` once the last
+        grant lands.  Idempotent, so :meth:`run` can delegate to it.
+        """
+        if self._began:
+            return
+        self._began = True
         self._running = True
         for nf_id in self._functions:
             self.sim.schedule(self.poll_interval_ns, lambda n=nf_id: self._poll(n))
+
+    def advance_to(self, until_ns: int) -> None:
+        """Execute every event up to ``until_ns`` (one grant window)."""
+        if not self._began:
+            raise RuntimeError("advance_to() before begin()")
+        self.sim.run(until_ns=until_ns)
+
+    def drain(self) -> RuntimeStats:
+        """Run until only re-armed polls remain: stop once every
+        injected packet has completed or been dropped."""
+        if not self._began:
+            raise RuntimeError("drain() before begin()")
+        horizon = 0
+        while True:
+            self.sim.advance(self.poll_interval_ns * 4)
+            pending_work = any(
+                self.snic.record(nf_id).vpp.rx_ring.occupancy
+                for nf_id in self._functions
+            )
+            arrivals_pending = self.sim.now_ns <= self._last_arrival_ns
+            if (not pending_work and not self.snic.rx_port._staged
+                    and not arrivals_pending):
+                horizon += 1
+                if horizon >= 3:
+                    break
+            else:
+                horizon = 0
+        self._stop()
+        return self.stats
+
+    def run(self, duration_ns: Optional[int] = None) -> RuntimeStats:
+        """Run the experiment until the queue drains (or ``duration_ns``)."""
+        self.begin()
         if duration_ns is not None:
             self.sim.schedule(duration_ns, self._stop)
             self.sim.run(until_ns=duration_ns)
-        else:
-            # Run until only re-armed polls remain: stop once every
-            # injected packet has completed or been dropped.
-            horizon = 0
-            while True:
-                self.sim.advance(self.poll_interval_ns * 4)
-                pending_work = any(
-                    self.snic.record(nf_id).vpp.rx_ring.occupancy
-                    for nf_id in self._functions
-                )
-                arrivals_pending = self.sim.now_ns <= self._last_arrival_ns
-                if (not pending_work and not self.snic.rx_port._staged
-                        and not arrivals_pending):
-                    horizon += 1
-                    if horizon >= 3:
-                        break
-                else:
-                    horizon = 0
-            self._stop()
-        return self.stats
+            return self.stats
+        return self.drain()
 
     def _stop(self) -> None:
         self._running = False

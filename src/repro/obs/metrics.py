@@ -34,16 +34,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
-_instance_serial = itertools.count(1)
-
 
 def instance_label(prefix: str) -> str:
     """A unique label for one component instance, e.g. ``l2#7``.
 
-    Serial numbers are process-global so two caches created by two
-    different NICs can never alias each other's counters.
+    Serial numbers are shared across prefixes within the default
+    registry so two caches created by two different NICs can never
+    alias each other's counters.  The counter lives on the registry
+    (not in a module global) so each shard worker's registry numbers
+    its own instances independently — a shard-safety requirement.
     """
-    return f"{prefix}#{next(_instance_serial)}"
+    return _REGISTRY.instance_label(prefix)
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
@@ -257,6 +258,13 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[str, LabelKey], object] = {}
         self._collectors: List[Callable[[], Iterable[Dict[str, object]]]] = []
+        self._serial = itertools.count(1)
+
+    def instance_label(self, prefix: str) -> str:
+        """A unique per-instance label minted from this registry's
+        serial stream, e.g. ``l2#7`` (shared numbering across
+        prefixes)."""
+        return f"{prefix}#{next(self._serial)}"
 
     def counter(self, name: str, **labels: object) -> Counter:
         return self._get_or_create(Counter, name, labels)
@@ -354,9 +362,11 @@ class MetricsRegistry:
             instrument.reset()
 
     def clear(self) -> None:
-        """Drop every instrument and collector entirely."""
+        """Drop every instrument and collector entirely and restart the
+        per-instance serial stream."""
         self._instruments.clear()
         self._collectors.clear()
+        self._serial = itertools.count(1)
 
 
 #: The default process-wide registry every component instruments into.
@@ -388,6 +398,4 @@ def reset() -> None:
     after resetting, which is what the benchmark harness and the test
     fixture both do.
     """
-    global _instance_serial
     _REGISTRY.clear()
-    _instance_serial = itertools.count(1)

@@ -217,6 +217,7 @@ def run_spec(spec: ScenarioSpec, quick: bool = False,
              sanitize: bool = False,
              window_ns: int = DEFAULT_WINDOW_NS,
              families_sink: Optional[List[object]] = None,
+             packet_phase=None,
              ) -> Dict[str, object]:
     """Run one scorecard cell under full state isolation.
 
@@ -224,7 +225,9 @@ def run_spec(spec: ScenarioSpec, quick: bool = False,
     the fired alerts, window/audit bookkeeping.  With ``families_sink``
     given, the cell's OpenMetrics families (registry + windows, tagged
     with an ``arbiter`` label) are appended to it before the trailing
-    isolation reset wipes the registry.
+    isolation reset wipes the registry.  ``packet_phase`` forwards to
+    :meth:`~repro.scenario.build.BuiltScenario.drive` — the shard
+    worker's granted-injection seam.
     """
     from repro.analysis.isosan import sanitized
     from repro.obs import auditlog as auditlog_mod
@@ -273,7 +276,8 @@ def run_spec(spec: ScenarioSpec, quick: bool = False,
                 outputs = built.drive(
                     quick=quick, rounds=rounds,
                     on_round=lambda _i, end_ns: aggregator.rotate(
-                        now_ns=sim.now_ns + end_ns))
+                        now_ns=sim.now_ns + end_ns),
+                    packet_phase=packet_phase)
                 aggregator.stop()
                 xwait = _xwait_by_victim(blame_matrix(registry))
                 timing = built.snic.timing
@@ -584,6 +588,10 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     parser.add_argument("--sanitize", action="store_true",
                         help="run every cell under the IsoSan runtime "
                              "sanitizer (also via REPRO_ISOSAN=1)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run each arbiter cell through the sharded "
+                             "co-simulation engine on N worker processes "
+                             "(reports are byte-identical for any N)")
     parser.add_argument("--violation-demo", action="store_true",
                         help="run the seeded alert self-test instead "
                              "of the sweep; exit 1 unless exactly the "
@@ -596,6 +604,15 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     args = parser.parse_args(argv)
 
     sanitize = args.sanitize or enabled_by_env(default=False)
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        if args.violation_demo or args.openmetrics:
+            print("error: --shards cannot combine with --violation-demo "
+                  "or --openmetrics (both need the monolithic in-process "
+                  "registry)", file=sys.stderr)
+            return 2
     if args.violation_demo:
         report = run_violation_demo(
             seed=args.seed, sanitize=sanitize,
@@ -610,11 +627,19 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
                   f"expected a comma-separated subset of "
                   f"{','.join(ARBITER_POLICIES)}", file=sys.stderr)
             return 2
-        report = run_scorecard(
-            n_tenants=n_tenants, seed=args.seed, quick=args.quick,
-            arbiters=arbiters, sanitize=sanitize,
-            window_ns=args.window_ns,
-            openmetrics_path=args.openmetrics)
+        if args.shards is not None:
+            from repro.shard.engine import run_scorecard_sharded
+
+            report = run_scorecard_sharded(
+                n_tenants=n_tenants, seed=args.seed, quick=args.quick,
+                arbiters=arbiters, sanitize=sanitize,
+                window_ns=args.window_ns, workers=args.shards)
+        else:
+            report = run_scorecard(
+                n_tenants=n_tenants, seed=args.seed, quick=args.quick,
+                arbiters=arbiters, sanitize=sanitize,
+                window_ns=args.window_ns,
+                openmetrics_path=args.openmetrics)
     rendered = _FORMATTERS[args.format](report)
     stream.write(rendered)
     if args.out:

@@ -20,6 +20,7 @@ from repro.scenario.spec import (
     NFSpec,
     NIC_MODELS,
     ScenarioSpec,
+    ShardSpec,
     SpecError,
     TenantSpec,
     TopologySpec,
@@ -46,6 +47,7 @@ from repro.scenario.build import (
     build_scenario,
     make_arbiter,
     make_nf,
+    make_packets,
 )
 
 __all__ = [
@@ -61,6 +63,7 @@ __all__ = [
     "RegisteredScenario",
     "ScenarioBuildError",
     "ScenarioSpec",
+    "ShardSpec",
     "SpecError",
     "TenantSpec",
     "TopologySpec",
@@ -73,6 +76,7 @@ __all__ = [
     "get",
     "make_arbiter",
     "make_nf",
+    "make_packets",
     "names",
     "register",
     "run",

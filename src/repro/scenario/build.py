@@ -55,6 +55,36 @@ class ScenarioBuildError(SpecError):
     """The spec was valid but could not be materialized."""
 
 
+def make_packets(spec: ScenarioSpec) -> List[object]:
+    """The deterministic offered load described by ``spec.traffic``.
+
+    A pure function of the spec (seeded from ``sub_seed("traffic")``),
+    so the shard engine's host-side scheduler and an in-process
+    deployment compute the exact same packet list independently.
+    """
+    from repro.net.packet import Packet
+
+    traffic = spec.traffic
+    order = list(spec.tenants)
+    if not order or not traffic.n_packets:
+        return []
+    rng = random.Random(spec.sub_seed("traffic"))
+    weights = [1.0 / (rank + 1) ** traffic.zipf_skew
+               for rank in range(len(order))]
+    packets: List[object] = []
+    for i in range(traffic.n_packets):
+        if traffic.pattern == "zipf":
+            tenant = rng.choices(order, weights=weights)[0]
+        else:
+            tenant = order[i % len(order)]
+        packet = Packet.make(
+            "10.0.0.1", tenant.dst_ip(), src_port=4_000 + i,
+            dst_port=80, payload=b"x" * traffic.payload_bytes)
+        packet.arrival_ns = (i + 1) * traffic.arrival_period_ns
+        packets.append(packet)
+    return packets
+
+
 # ----------------------------------------------------------------------
 # Component factories
 # ----------------------------------------------------------------------
@@ -350,33 +380,15 @@ class BuiltScenario:
 
     def make_packets(self) -> List[object]:
         """The deterministic offered load described by the TrafficSpec."""
-        from repro.net.packet import Packet
-
-        traffic = self.spec.traffic
-        order = list(self.spec.tenants)
-        if not order or not traffic.n_packets:
-            return []
-        rng = random.Random(self.spec.sub_seed("traffic"))
-        weights = [1.0 / (rank + 1) ** traffic.zipf_skew
-                   for rank in range(len(order))]
-        packets: List[object] = []
-        for i in range(traffic.n_packets):
-            if traffic.pattern == "zipf":
-                tenant = rng.choices(order, weights=weights)[0]
-            else:
-                tenant = order[i % len(order)]
-            packet = Packet.make(
-                "10.0.0.1", tenant.dst_ip(), src_port=4_000 + i,
-                dst_port=80, payload=b"x" * traffic.payload_bytes)
-            packet.arrival_ns = (i + 1) * traffic.arrival_period_ns
-            packets.append(packet)
-        return packets
+        return make_packets(self.spec)
 
     # -- the default driver --------------------------------------------
 
     def drive(self, quick: bool = False,
               rounds: Optional[int] = None,
               on_round: Optional[Callable[[int, float], None]] = None,
+              packet_phase: Optional[
+                  Callable[["BuiltScenario"], object]] = None,
               ) -> Dict[str, object]:
         """Run the generic two-phase experiment and return its outputs.
 
@@ -392,6 +404,12 @@ class BuiltScenario:
         ``(round_index, round_end_ns)`` — phase 2 advances hand-stepped
         timestamps outside the event kernel, so observers that window on
         sim time (the SLO aggregator) rotate through this hook.
+
+        ``packet_phase`` replaces phase 1 entirely: the shard worker's
+        seam.  It receives this deployment and must return the
+        :class:`~repro.core.runtime.RuntimeStats` of the traffic phase
+        (the sharded path injects granted packets window by window
+        instead of all up front).
         """
         if not self._deployed:
             raise ScenarioBuildError("deploy() the scenario before driving it")
@@ -419,7 +437,8 @@ class BuiltScenario:
                 if self.fault_plan.events_for(FaultKind.NIC_OS_STALL):
                     targets[FaultKind.NIC_OS_STALL] = self.nic_os
                 self.injector.arm_all(targets or None)
-            stats = self._drive_packets()
+            stats = packet_phase(self) if packet_phase is not None \
+                else self._drive_packets()
             contention = self._drive_contention(rounds, on_round=on_round)
         finally:
             if self.injector is not None:

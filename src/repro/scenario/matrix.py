@@ -292,6 +292,7 @@ def run_matrix(
     sanitize: bool = False,
     progress=None,
     postmortem_dir: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, object]:
     """Sweep the matrix and build the report dict.
 
@@ -301,7 +302,18 @@ def run_matrix(
     or wall times.  ``postmortem_dir`` arms per-cell forensics: any
     error cell drops a ``POSTMORTEM_<cell>.json`` bundle there (the
     report itself stays byte-identical either way).
+
+    ``shards`` routes every cell through the sharded co-simulation
+    engine with that many worker processes.  The partition plan lives
+    in the spec, not here, so the report is byte-identical for any
+    shard count — but it is a *different* (partitioned) simulation from
+    the monolithic path, so sharded and unsharded reports are not
+    comparable byte-for-byte.
     """
+    if shards is not None and postmortem_dir is not None:
+        raise ValueError("per-cell postmortem bundles are not available "
+                         "under --shards (the flight recorder is "
+                         "per-shard-process)")
     axes = default_axes(quick=quick)
     cells = expand(axes, base_seed=seed, reps=reps)
     if only:
@@ -310,8 +322,8 @@ def run_matrix(
     entries: List[Dict[str, object]] = []
     n_ok = n_error = 0
     for cell in cells:
-        record = run_cell(cell, quick=quick, sanitize=sanitize,
-                          postmortem_dir=postmortem_dir)
+        record = _run_one(cell, quick=quick, sanitize=sanitize,
+                          postmortem_dir=postmortem_dir, shards=shards)
         if record.status == "ok":
             n_ok += 1
         else:
@@ -337,16 +349,45 @@ def run_matrix(
     }
 
 
+def _run_one(cell: MatrixCell, quick: bool, sanitize: bool,
+             postmortem_dir: Optional[str], shards: Optional[int],
+             spec: Optional[ScenarioSpec] = None):
+    """Dispatch one cell to the monolithic or the sharded runner."""
+    if shards is None:
+        return run_cell(cell, quick=quick, sanitize=sanitize,
+                        postmortem_dir=postmortem_dir, spec=spec)
+    from repro.shard.engine import run_cell_sharded
+
+    return run_cell_sharded(cell, quick=quick, sanitize=sanitize,
+                            workers=shards, spec=spec)
+
+
 def load_spec(path: str) -> ScenarioSpec:
-    """Load a JSON ``ScenarioSpec`` file (``--spec FILE``).
+    """Load a ``ScenarioSpec`` file (``--spec FILE``), JSON or YAML.
 
     The file holds exactly what :meth:`ScenarioSpec.to_dict` emits (see
     ``examples/slo_scenario.json``); :meth:`ScenarioSpec.from_dict` runs
     the full validation, so a malformed file fails with a ``SpecError``
-    naming the bad field rather than a deep builder traceback.
+    naming the bad field rather than a deep builder traceback.  Files
+    ending in ``.yaml``/``.yml`` parse with PyYAML when it is
+    installed; everything else parses as JSON (which a YAML parser
+    would accept anyway, so the two paths round-trip to identical
+    specs).
     """
     with open(path, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
+        if path.endswith((".yaml", ".yml")):
+            try:
+                import yaml
+            except ImportError as exc:  # pragma: no cover - yaml baked in
+                raise ValueError(
+                    f"{path}: YAML spec files require PyYAML; "
+                    f"re-encode the spec as JSON") from exc
+            data = yaml.safe_load(fh)
+        else:
+            data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: spec file must hold a mapping, "
+                         f"got {type(data).__name__}")
     return ScenarioSpec.from_dict(data)
 
 
@@ -356,14 +397,19 @@ def run_specs(
     sanitize: bool = False,
     progress=None,
     postmortem_dir: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run explicit specs (from ``--spec`` files) as a one-off matrix.
 
     Each spec becomes one cell whose coordinates are read *off* the
     spec (model, tenant count, fault class, arbiter, seed), so the
     report keeps the sweep schema and every formatter/CI consumer
-    works unchanged.
+    works unchanged.  ``shards`` behaves as in :func:`run_matrix`.
     """
+    if shards is not None and postmortem_dir is not None:
+        raise ValueError("per-cell postmortem bundles are not available "
+                         "under --shards (the flight recorder is "
+                         "per-shard-process)")
     entries: List[Dict[str, object]] = []
     n_ok = n_error = 0
     for spec in specs:
@@ -373,8 +419,9 @@ def run_specs(
             fault_class=spec.fault.kind if spec.fault else "none",
             arbiter=spec.topology.arbiter.policy,
             seed=spec.seed)
-        record = run_cell(cell, quick=quick, sanitize=sanitize,
-                          postmortem_dir=postmortem_dir, spec=spec)
+        record = _run_one(cell, quick=quick, sanitize=sanitize,
+                          postmortem_dir=postmortem_dir, shards=shards,
+                          spec=spec)
         if record.status == "ok":
             n_ok += 1
         else:
@@ -505,9 +552,13 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
                              "(repeatable)")
     parser.add_argument("--spec", action="append", default=None,
                         metavar="FILE",
-                        help="run a JSON ScenarioSpec file instead of the "
-                             "axis sweep (repeatable; see "
+                        help="run a JSON or YAML ScenarioSpec file instead "
+                             "of the axis sweep (repeatable; see "
                              "examples/slo_scenario.json)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run each cell through the sharded "
+                             "co-simulation engine on N worker processes "
+                             "(reports are byte-identical for any N)")
     parser.add_argument("--seed", type=int, default=7,
                         help="base seed; every cell seed derives from it "
                              "(default 7)")
@@ -527,6 +578,15 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
     args = parser.parse_args(argv)
 
     sanitize = args.sanitize or enabled_by_env(default=False)
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        if args.postmortem_dir is not None:
+            print("error: --shards and --postmortem-dir are mutually "
+                  "exclusive (forensics bundles are per-shard-process)",
+                  file=sys.stderr)
+            return 2
     if args.spec:
         from repro.scenario.spec import SpecError
 
@@ -536,12 +596,14 @@ def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
             print(f"error: bad --spec file: {exc}", file=sys.stderr)
             return 2
         report = run_specs(specs, quick=args.quick, sanitize=sanitize,
-                           postmortem_dir=args.postmortem_dir)
+                           postmortem_dir=args.postmortem_dir,
+                           shards=args.shards)
     else:
         report = run_matrix(quick=args.quick, only=args.only,
                             seed=args.seed, reps=args.reps,
                             sanitize=sanitize,
-                            postmortem_dir=args.postmortem_dir)
+                            postmortem_dir=args.postmortem_dir,
+                            shards=args.shards)
     rendered = _FORMATTERS[args.format](report)
     stream.write(rendered)
     if args.out:

@@ -368,6 +368,55 @@ class FaultSpec:
         )
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """How a scenario decomposes into co-simulated partitions.
+
+    SimBricks' central idea, applied to one experiment: the *partition
+    plan* — how many NIC/tenant shards the scenario splits into and the
+    virtual link latency that couples them to the host/fabric side — is
+    part of the experiment configuration, **not** an execution detail.
+    ``partitions`` therefore pins the decomposition in the spec; the
+    ``--shards N`` worker count only chooses how many OS processes
+    execute those partitions, which is why merged reports are
+    byte-identical for any ``N``.
+
+    ``link_latency_ns`` is the host↔NIC fabric latency and doubles as
+    the conservative synchronization *lookahead*: a shard granted
+    virtual time ``t`` can safely simulate to ``t + link_latency_ns``
+    because no message emitted after the grant can arrive earlier.
+    """
+
+    partitions: int = 4
+    link_latency_ns: int = 800
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.partitions, int) \
+                or isinstance(self.partitions, bool) or self.partitions < 1:
+            raise SpecError("shard partitions must be an int >= 1")
+        if not isinstance(self.link_latency_ns, int) \
+                or isinstance(self.link_latency_ns, bool) \
+                or self.link_latency_ns < 1:
+            raise SpecError("shard link_latency_ns must be an int >= 1")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "partitions": self.partitions,
+            "link_latency_ns": self.link_latency_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardSpec":
+        known = {"partitions", "link_latency_ns"}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown ShardSpec fields: {sorted(unknown)}")
+        return cls(
+            partitions=int(data.get("partitions", 4)),
+            link_latency_ns=int(data.get("link_latency_ns", 800)),
+        )
+
+
 # ----------------------------------------------------------------------
 # The root spec
 # ----------------------------------------------------------------------
@@ -390,6 +439,7 @@ class ScenarioSpec:
     tenants: Tuple[TenantSpec, ...] = ()
     traffic: TrafficSpec = TrafficSpec()
     fault: Optional[FaultSpec] = None
+    shard: Optional[ShardSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -431,6 +481,7 @@ class ScenarioSpec:
             "tenants": [t.to_dict() for t in self.tenants],
             "traffic": self.traffic.to_dict(),
             "fault": self.fault.to_dict() if self.fault else None,
+            "shard": self.shard.to_dict() if self.shard else None,
         }
 
     @classmethod
@@ -442,6 +493,7 @@ class ScenarioSpec:
         if "seed" not in data:
             raise SpecError("a scenario dict must carry an explicit 'seed'")
         fault = data.get("fault")
+        shard = data.get("shard")
         return cls(
             name=data["name"],
             seed=int(data["seed"]),
@@ -452,4 +504,5 @@ class ScenarioSpec:
                           for t in data.get("tenants", ())),
             traffic=TrafficSpec.from_dict(data.get("traffic", {})),
             fault=FaultSpec.from_dict(fault) if fault else None,
+            shard=ShardSpec.from_dict(shard) if shard else None,
         )

@@ -250,13 +250,16 @@ class TestManifest:
         unsafe = set(manifest["shard_unsafe"])
         # Every known process-global handle in the hardware and S-NIC
         # layers must be certified shard-unsafe (acceptance criterion).
+        # repro.core.runtime._TRACER and repro.obs.metrics'
+        # _instance_serial used to sit here too; both moved to
+        # instance/registry state for the shard engine and are no
+        # longer process-global.
         assert {"repro.hw.memory._AUDIT", "repro.hw.mmu._AUDIT",
                 "repro.hw.events._KERNEL", "repro.hw.cores._TRACER",
                 "repro.hw.dma._TRACER", "repro.hw.cache._TRACER",
                 "repro.hw.bus._TRACER", "repro.hw.accelerator._TRACER",
                 "repro.core.snic._AUDIT", "repro.core.snic._TRACER",
-                "repro.core.nic_os._AUDIT",
-                "repro.core.runtime._TRACER"} <= unsafe
+                "repro.core.nic_os._AUDIT"} <= unsafe
 
 
 # ----------------------------------------------------------------------
